@@ -1,0 +1,32 @@
+"""Bench: Fig. 1 — record throughput by operator placement.
+
+Paper: local scan ~40k rec/s; +local project ~34k; remote project with
+single-record calls <1k; vectorised ~24k; + buffering operator ~30k.
+"""
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_operator_placement(benchmark, bench_scale):
+    rows = 40_000 if bench_scale == "full" else 20_000
+    result = benchmark.pedantic(
+        run_fig1, kwargs={"rows": rows}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    r = result.records_per_second
+    # Paper bands (generous, but ordering-tight).
+    assert 35_000 <= r["tbscan_local"] <= 45_000
+    assert 30_000 <= r["project_local"] <= 38_000
+    assert r["project_remote_single"] < 1_000
+    assert 20_000 <= r["project_remote_vectorized"] <= 28_000
+    assert 25_000 <= r["project_remote_buffered"] <= 34_000
+    # Orderings that define the figure.
+    assert r["tbscan_local"] > r["project_local"]
+    assert r["project_local"] > r["project_remote_buffered"]
+    assert r["project_remote_buffered"] > r["project_remote_vectorized"]
+    assert r["project_remote_vectorized"] > 20 * r["project_remote_single"]
+
+    for name, value in r.items():
+        benchmark.extra_info[name] = round(value)

@@ -1,0 +1,37 @@
+"""Bench: Fig. 2 — scan+sort throughput, local vs. offloaded sort.
+
+Paper: at 1 concurrent query the all-local plan wins; with rising
+concurrency the offloaded plan's extra CPU/buffer pays off and its
+throughput becomes substantially higher.
+"""
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_offloading_crossover(benchmark, bench_scale):
+    if bench_scale == "full":
+        kwargs = {"rows": 1_000, "concurrency_levels": (1, 10, 100, 1000),
+                  "window": 30.0}
+    else:
+        kwargs = {"rows": 800, "concurrency_levels": (1, 10, 100),
+                  "window": 15.0}
+    result = benchmark.pedantic(run_fig2, kwargs=kwargs, rounds=1,
+                                iterations=1)
+    print()
+    print(result.to_table())
+
+    levels = result.concurrency_levels
+    # Local wins for the isolated query ("distributing queries ... is
+    # always a performance burden" at low utilisation).
+    assert result.local_qps[1] > result.offloaded_qps[1]
+    # Offloading wins once the node saturates.
+    high = levels[-1]
+    assert result.offloaded_qps[high] > 1.3 * result.local_qps[high]
+    # The crossover falls in the paper's 1..100 band.
+    crossover = result.crossover()
+    assert crossover is not None and 1 < crossover <= 100
+
+    benchmark.extra_info["crossover"] = crossover
+    benchmark.extra_info["speedup_at_max"] = round(
+        result.offloaded_qps[high] / result.local_qps[high], 2
+    )

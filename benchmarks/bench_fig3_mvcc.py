@@ -1,0 +1,38 @@
+"""Bench: Fig. 3 — MVCC vs MGL-RX while moving 50% of the records.
+
+Paper: MVCC lifts throughput by ~15% (read-only) up to ~90% (pure
+writers); MVCC needs more storage, growing with the update share.
+"""
+
+from repro.experiments import run_fig3
+from repro.experiments.fig3_mvcc import Fig3Config
+
+
+def test_fig3_mvcc_vs_locking(benchmark, bench_scale):
+    if bench_scale == "full":
+        config = Fig3Config()
+    else:
+        config = Fig3Config(
+            rows=1200, clients=10,
+            update_ratios=(0.0, 0.5, 1.0), max_window=400.0,
+        )
+    result = benchmark.pedantic(
+        run_fig3, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    ratios = config.update_ratios
+    # MVCC never loses, and the gain grows with the update share.
+    assert result.speedup(ratios[0]) >= -0.05
+    assert result.speedup(ratios[-1]) >= 0.30
+    assert result.speedup(ratios[-1]) > result.speedup(ratios[0])
+    # Storage: MVCC overhead grows with updates; at the write-heavy end
+    # it exceeds locking's (bounded) pending/old-copy overhead.
+    mvcc_storage = [result.storage_pct["mvcc"][r] for r in ratios]
+    assert mvcc_storage[-1] > mvcc_storage[0]
+    assert (result.storage_pct["mvcc"][ratios[-1]]
+            > result.storage_pct["locking"][ratios[-1]] - 2.0)
+
+    benchmark.extra_info["gain_read_only"] = f"{result.speedup(ratios[0]):+.0%}"
+    benchmark.extra_info["gain_write_heavy"] = f"{result.speedup(ratios[-1]):+.0%}"

@@ -1,0 +1,42 @@
+"""Bench: Fig. 7 — query-runtime breakdown when rebalancing.
+
+Paper: during rebalancing, disk I/O, locking, and logging grow —
+network time stays roughly unchanged; the helper configuration
+("rebalancing improved") recovers much of the increase.
+"""
+
+import pytest
+
+from repro.experiments import run_fig7
+from repro.experiments.fig6_schemes import quick_fig6_config as quick_config
+
+
+def test_fig7_breakdown(benchmark, bench_scale):
+    config = None if bench_scale == "full" else quick_config()
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    normal = result.mean_response_ms["normal"]
+    rebalancing = result.mean_response_ms["rebalancing"]
+    improved = result.mean_response_ms["improved"]
+
+    # Queries get slower while rebalancing ...
+    assert rebalancing > normal
+    # ... and the helper configuration claws part of it back.
+    assert improved < rebalancing
+
+    # Component stories: disk and/or locking and/or logging grow;
+    # network stays in the same ballpark.
+    grew = (
+        result.rebalancing.disk_io > result.normal.disk_io
+        or result.rebalancing.locking > result.normal.locking
+        or result.rebalancing.logging > result.normal.logging
+    )
+    assert grew
+
+    benchmark.extra_info["normal_ms"] = round(normal, 1)
+    benchmark.extra_info["rebalancing_ms"] = round(rebalancing, 1)
+    benchmark.extra_info["improved_ms"] = round(improved, 1)

@@ -1,0 +1,40 @@
+"""Bench: Fig. 8 — physiological rebalancing with helper nodes.
+
+Paper: helpers (log shipping + rDMA buffer) improve response times
+during the rebalance, raise power, and worsen energy per query —
+trading energy efficiency for performance.
+"""
+
+import pytest
+
+from repro.experiments import run_fig8
+from repro.experiments.fig6_schemes import quick_fig6_config as quick_config
+
+
+def test_fig8_helper_nodes(benchmark, bench_scale):
+    config = None if bench_scale == "full" else quick_config()
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    plain, helped = result.plain, result.helped
+    window_p = (0.0, plain.migration_seconds)
+    window_h = (0.0, helped.migration_seconds)
+
+    resp_plain = plain.mean_between(plain.response_ms, *window_p)
+    resp_helped = helped.mean_between(helped.response_ms, *window_h)
+    watts_plain = plain.mean_between(plain.watts, *window_p)
+    watts_helped = helped.mean_between(helped.watts, *window_h)
+
+    assert None not in (resp_plain, resp_helped, watts_plain, watts_helped)
+    # Helpers improve responsiveness during the rebalance ...
+    assert resp_helped < resp_plain
+    # ... at the cost of higher power draw (two extra active nodes).
+    assert watts_helped > watts_plain + 10
+
+    benchmark.extra_info["resp_plain_ms"] = round(resp_plain, 1)
+    benchmark.extra_info["resp_helped_ms"] = round(resp_helped, 1)
+    benchmark.extra_info["watts_plain"] = round(watts_plain, 1)
+    benchmark.extra_info["watts_helped"] = round(watts_helped, 1)

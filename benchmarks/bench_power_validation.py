@@ -1,0 +1,27 @@
+"""Bench: Sect. 3.1 power table — the cluster's power envelope.
+
+Paper: minimal config ~65 W; realistic minimal 70-75 W; full cluster
+260-280 W; node 22-26 W active / 2.5 W standby.
+"""
+
+from repro.experiments import run_power_validation
+
+
+def test_power_validation(benchmark):
+    result = benchmark.pedantic(run_power_validation, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+
+    # Shape assertions against the paper's bands.
+    assert 60 <= result.minimal_watts <= 70
+    assert 62 <= result.realistic_minimal_watts <= 78
+    assert 255 <= result.full_load_watts <= 285
+    assert 20 <= result.node_active_idle_watts <= 24
+    assert 24 <= result.node_active_peak_watts <= 28
+    assert result.node_standby_watts == 2.5
+    # The proportionality curve is monotone in active nodes.
+    watts = [w for _n, w in result.proportionality_curve]
+    assert all(a < b for a, b in zip(watts, watts[1:]))
+
+    benchmark.extra_info["minimal_watts"] = round(result.minimal_watts, 1)
+    benchmark.extra_info["full_load_watts"] = round(result.full_load_watts, 1)

@@ -1,0 +1,31 @@
+"""Bench (extension): the scale-in protocol the paper describes but
+never evaluates — centralising a lightly-loaded cluster saves energy
+without losing throughput."""
+
+from repro.experiments import run_scale_in
+
+
+def test_scale_in_energy_proportionality(benchmark):
+    result = benchmark.pedantic(run_scale_in, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+
+    assert result.active_after < result.active_before
+    assert result.total_failed == 0
+
+    watts_before = result.mean_between(result.watts, -30, 0)
+    watts_after = result.mean_between(result.watts, 20, 110)
+    jpq_before = result.mean_between(result.joules_per_query, -30, 0)
+    jpq_after = result.mean_between(result.joules_per_query, 20, 110)
+    qps_before = result.mean_between(result.qps, -30, 0)
+    qps_after = result.mean_between(result.qps, 20, 110)
+
+    # Two wimpy nodes went dark ...
+    assert watts_after < watts_before - 25
+    # ... energy per query improved ...
+    assert jpq_after < 0.8 * jpq_before
+    # ... and the (light) offered load is still served.
+    assert qps_after > 0.9 * qps_before
+
+    benchmark.extra_info["watts_before"] = round(watts_before, 1)
+    benchmark.extra_info["watts_after"] = round(watts_after, 1)

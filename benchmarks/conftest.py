@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one of the paper's tables/figures and prints the
+same rows/series the paper reports (run pytest with ``-s`` to see the
+tables).  ``REPRO_BENCH_SCALE=full`` switches from the quick defaults to
+paper-closer parameters (substantially longer runs).
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return SCALE
+
+
+def pytest_report_header(config):
+    return f"repro benchmark scale: {SCALE} (set REPRO_BENCH_SCALE=full for more)"

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Energy vs. performance: the helper-node trade (paper Sect. 5.2).
+
+Runs the same physiological rebalance twice — plain, and with helper
+nodes providing log shipping and rDMA buffer space — and prints the
+trade: better response times during migration, at the cost of watts and
+joules per query.
+
+Run:  python examples/energy_tradeoff.py   (takes a minute or two)
+"""
+
+from repro.experiments.fig6_schemes import quick_fig6_config
+from repro.experiments.fig8_helper import run_fig8
+
+
+def main():
+    config = quick_fig6_config()
+    result = run_fig8(config, helper_nodes=(4, 5))
+    print(result.to_table())
+    print()
+
+    window_plain = (0.0, result.plain.migration_seconds)
+    window_helped = (0.0, result.helped.migration_seconds)
+    resp_plain = result.plain.mean_between(
+        result.plain.response_ms, *window_plain
+    )
+    resp_helped = result.helped.mean_between(
+        result.helped.response_ms, *window_helped
+    )
+    jpq_plain = result.plain.mean_between(
+        result.plain.joules_per_query, *window_plain
+    )
+    jpq_helped = result.helped.mean_between(
+        result.helped.joules_per_query, *window_helped
+    )
+    if None not in (resp_plain, resp_helped, jpq_plain, jpq_helped):
+        print(f"helpers changed mean response time by "
+              f"{(resp_helped / resp_plain - 1):+.0%} and energy/query by "
+              f"{(jpq_helped / jpq_plain - 1):+.0%} during the rebalance —")
+        print("trading energy efficiency for performance, as Sect. 5.2 "
+              "concludes.")
+
+
+if __name__ == "__main__":
+    main()

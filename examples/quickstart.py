@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: build a wimpy-node cluster, create a table, run queries.
+
+Demonstrates the core loop of the library: a simulated WattDB cluster,
+transactional point reads/writes routed through the master, an operator
+plan, and the cluster's power/energy accounting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, Column, Environment, Schema
+from repro.engine import ExecContext, Project, TableScan
+
+
+def main():
+    # A 4-node cluster; nodes 0 and 1 active, the rest in standby.
+    env = Environment()
+    cluster = Cluster(
+        env, node_count=4, initially_active=2,
+        buffer_pages_per_node=1024, segment_max_pages=64,
+    )
+    master = cluster.master
+
+    # Define a table owned by the master node.
+    schema = Schema(
+        [Column("id"), Column("city", "str", width=24),
+         Column("population", "int")],
+        key=("id",),
+    )
+    master.create_table("cities", schema, owner=cluster.workers[0])
+
+    cities = [
+        (1, "kaiserslautern", 100_000),
+        (2, "mannheim", 315_000),
+        (3, "heidelberg", 160_000),
+        (4, "karlsruhe", 313_000),
+    ]
+
+    def work():
+        # Transactional inserts, routed by the master.
+        txn = cluster.txns.begin()
+        for row in cities:
+            yield from master.insert("cities", row, txn)
+        yield from cluster.txns.commit(txn)
+
+        # Point read.
+        txn = cluster.txns.begin()
+        row = yield from master.read("cities", 3, txn)
+        print(f"point read   : {row}")
+
+        # Range read with partition/segment pruning.
+        rows = yield from master.read_range("cities", 2, 4, txn)
+        print(f"range read   : {rows}")
+        yield from cluster.txns.commit(txn)
+
+        # A volcano operator plan: scan -> project.
+        ctx = ExecContext(env=env, vector_size=64)
+        worker = cluster.workers[0]
+        partition = next(iter(worker.partitions.values()))
+        scan = TableScan(ctx, worker, partition)
+        plan = Project(ctx, worker.cpu, scan, ["city", "population"])
+        projected = yield from plan.drain()
+        print(f"plan output  : {projected}")
+
+    env.run(until=env.process(work()))
+
+    print(f"simulated t  : {env.now:.4f} s")
+    print(f"cluster power: {cluster.current_watts():.1f} W "
+          f"({cluster.active_node_count} active nodes + switch)")
+    print(f"energy so far: {cluster.energy_joules():.1f} J")
+
+
+if __name__ == "__main__":
+    main()

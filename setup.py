@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so editable installs work in offline
+environments that lack the `wheel` package (legacy path:
+``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: a reproduction of "Dynamic Physiological Partitioning on a
+Shared-nothing Database Cluster" (Schall & Haerder, ICDE 2015).
+
+The package implements WattDB — an energy-aware, elastically-scaling
+distributed DBMS on a cluster of wimpy nodes — on top of a
+discrete-event hardware simulator, together with the paper's three
+partitioning schemes (physical, logical, physiological) and the full
+evaluation harness.
+
+Quickstart::
+
+    from repro import Environment, Cluster
+
+    env = Environment()
+    cluster = Cluster(env, node_count=4, initially_active=2)
+    ...  # see examples/quickstart.py
+"""
+
+from repro.sim import Environment
+from repro.cluster import Cluster, MasterNode, WorkerNode
+from repro.index import KeyRange
+from repro.metrics import CostBreakdown
+from repro.storage import Column, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Column",
+    "CostBreakdown",
+    "Environment",
+    "KeyRange",
+    "MasterNode",
+    "Schema",
+    "WorkerNode",
+    "__version__",
+]

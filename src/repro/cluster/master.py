@@ -1,0 +1,303 @@
+"""The master node: cluster coordinator, catalog owner, query router.
+
+"The smallest configuration of WattDB is a single server called master
+node, hosting all DBMS functions and always acting as the cluster
+coordinator and endpoint to DB clients." (Sect. 3.2)  The master also
+runs a worker instance, so it can own partitions itself.
+
+Routing honours the dual pointers kept during repartitioning: "queries
+are advised to visit both [nodes], determining the correct location to
+use during execution" (Sect. 4.3); a visit that lands on a forwarding
+pointer follows it.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.operators import SegmentMovedError
+from repro.hardware import specs
+from repro.index.global_table import GlobalPartitionTable
+from repro.metrics.breakdown import CostBreakdown
+from repro.sim.engine import Environment
+from repro.txn.manager import Transaction
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.catalog import Catalog
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.worker import WorkerNode
+
+
+class NoOwnerFoundError(RuntimeError):
+    """No candidate node could serve the key (routing inconsistency)."""
+
+
+class MasterNode:
+    """Coordinator role layered on top of the first worker."""
+
+    def __init__(self, env: Environment, cluster: "Cluster",
+                 worker: "WorkerNode", catalog: "Catalog"):
+        self.env = env
+        self.cluster = cluster
+        self.worker = worker
+        self.catalog = catalog
+        self.gpt = GlobalPartitionTable()
+        self.queries_planned = 0
+
+    @property
+    def txns(self):
+        return self.cluster.txns
+
+    @property
+    def node_id(self) -> int:
+        return self.worker.node_id
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, priority: int = 0):
+        """Generator: charge the fixed planning/dispatch CPU cost."""
+        yield from self.worker.cpu.execute(
+            specs.CPU_PLAN_SECONDS_PER_QUERY, priority
+        )
+        self.queries_planned += 1
+
+    def _hop(self, target: "WorkerNode", breakdown: CostBreakdown | None,
+             txn: Transaction | None = None):
+        """Generator: master <-> worker dispatch hop.
+
+        WattDB ships distributed *plans*: the master pays one round trip
+        to enlist a worker in a transaction; subsequent operations of
+        the same transaction on that worker run within the shipped plan
+        (master-local workers are always free).
+        """
+        if target is self.worker:
+            return
+        if txn is not None:
+            visited = getattr(txn, "_visited_nodes", None)
+            if visited is None:
+                visited = set()
+                txn._visited_nodes = visited
+            if target.node_id in visited:
+                return
+            visited.add(target.node_id)
+        t0 = self.env.now
+        yield from self.cluster.network.rpc_delay()
+        if breakdown is not None:
+            breakdown.add("network_io", self.env.now - t0)
+
+    # -- routed record operations ------------------------------------------
+
+    def _routed(self, table: str, key: typing.Any,
+                action: typing.Callable[["WorkerNode", typing.Any], typing.Generator],
+                breakdown: CostBreakdown | None,
+                txn: Transaction | None = None):
+        """Generator: run ``action(worker, partition)`` on the right node,
+        following dual pointers and forwarding pointers."""
+        from repro.cluster.worker import RecordNotHereError
+
+        location = self.gpt.locate(table, key)
+        tried: set[int] = set()
+        queue = [self.cluster.worker(n) for n in location.candidate_nodes]
+        while queue:
+            worker = queue.pop(0)
+            if worker.node_id in tried:
+                continue
+            tried.add(worker.node_id)
+            yield from self._hop(worker, breakdown, txn)
+            # Prefer the registered partition (covers inserts into key
+            # regions with no segment yet); fall back to a tree search
+            # for nodes reached via redirection.
+            partition = worker.partitions.get(location.partition_id)
+            if partition is None:
+                try:
+                    partition = worker.find_partition(table, key)
+                except RecordNotHereError:
+                    continue
+            try:
+                result = yield from action(worker, partition)
+                return result
+            except SegmentMovedError as moved:
+                queue.append(self.cluster.worker(moved.target_node_id))
+            except RecordNotHereError:
+                continue
+        raise NoOwnerFoundError(f"no node could serve {table!r} key {key!r}")
+
+    def read(self, table: str, key: typing.Any, txn: Transaction,
+             breakdown: CostBreakdown | None = None, cc: str = "mvcc",
+             priority: int = 0):
+        """Generator: routed point read; returns the row or None.
+
+        A candidate that holds the key range but no visible version is
+        treated as "not here" — during a move the record may already
+        (or still) live on the other candidate node.
+        """
+        from repro.cluster.worker import RecordNotHereError
+
+        def action(worker, partition):
+            result = yield from worker.read_record(
+                partition, key, txn, breakdown, cc, priority
+            )
+            if result is None:
+                raise RecordNotHereError(f"{key!r} not visible here")
+            return result
+
+        try:
+            result = yield from self._routed(table, key, action, breakdown, txn)
+        except NoOwnerFoundError:
+            return None
+        return result
+
+    def insert(self, table: str, values: typing.Sequence, txn: Transaction,
+               breakdown: CostBreakdown | None = None, cc: str = "mvcc",
+               priority: int = 0):
+        """Generator: routed insert."""
+        key = self.catalog.table(table).schema.key_of(tuple(values))
+
+        def action(worker, partition):
+            result = yield from worker.insert_record(
+                partition, values, txn, breakdown, cc, priority
+            )
+            return result
+
+        result = yield from self._routed(table, key, action, breakdown, txn)
+        return result
+
+    def update(self, table: str, key: typing.Any, values: typing.Sequence,
+               txn: Transaction, breakdown: CostBreakdown | None = None,
+               cc: str = "mvcc", priority: int = 0):
+        """Generator: routed update.  A candidate where the key is not
+        visible defers to the other candidate (mid-move redirection);
+        KeyError surfaces only if no candidate can see it."""
+        from repro.cluster.worker import RecordNotHereError
+
+        def action(worker, partition):
+            try:
+                yield from worker.update_record(
+                    partition, key, values, txn, breakdown, cc, priority
+                )
+            except KeyError as exc:
+                raise RecordNotHereError(str(exc)) from exc
+
+        try:
+            yield from self._routed(table, key, action, breakdown, txn)
+        except NoOwnerFoundError:
+            raise KeyError(f"update: {table}.{key!r} not found on any node")
+
+    def delete(self, table: str, key: typing.Any, txn: Transaction,
+               breakdown: CostBreakdown | None = None, cc: str = "mvcc",
+               priority: int = 0):
+        """Generator: routed delete (same redirection rules as update)."""
+        from repro.cluster.worker import RecordNotHereError
+
+        def action(worker, partition):
+            try:
+                yield from worker.delete_record(
+                    partition, key, txn, breakdown, cc, priority
+                )
+            except KeyError as exc:
+                raise RecordNotHereError(str(exc)) from exc
+
+        try:
+            yield from self._routed(table, key, action, breakdown, txn)
+        except NoOwnerFoundError:
+            raise KeyError(f"delete: {table}.{key!r} not found on any node")
+
+    def read_by_secondary(self, table: str, route_key: typing.Any,
+                          index_name: str, secondary_key: typing.Any,
+                          txn: Transaction,
+                          breakdown: CostBreakdown | None = None,
+                          cc: str = "mvcc", priority: int = 0):
+        """Generator: routed secondary-index lookup.
+
+        ``route_key`` is any primary key in the relevant range (e.g.
+        ``(w, d, 1)`` for a customer-by-name search in one district) —
+        secondary indexes span one partition, so routing still goes by
+        primary-key range.  Returns the matching visible rows.
+        """
+
+        def action(worker, partition):
+            rows = yield from worker.read_by_secondary(
+                partition, index_name, secondary_key, txn, breakdown, cc,
+                priority,
+            )
+            return rows
+
+        try:
+            rows = yield from self._routed(table, route_key, action,
+                                           breakdown, txn)
+        except NoOwnerFoundError:
+            return []
+        return rows
+
+    def read_range(self, table: str, lo: typing.Any, hi: typing.Any,
+                   txn: Transaction, breakdown: CostBreakdown | None = None,
+                   cc: str = "mvcc", priority: int = 0,
+                   limit: int | None = None):
+        """Generator: routed range read over ``[lo, hi)`` with partition
+        pruning; returns rows in key order."""
+        from repro.index.partition_tree import KeyRange
+        from repro.cluster.worker import RecordNotHereError
+
+        key_range = KeyRange(lo, hi)
+        schema = self.catalog.table(table).schema
+        by_key: dict[typing.Any, tuple] = {}
+        for location in self.gpt.locate_range(table, key_range):
+            # During a move, rows of this range may be split between the
+            # old and new node: visit every candidate and merge by key.
+            queue = [self.cluster.worker(n) for n in location.candidate_nodes]
+            tried: set[int] = set()
+            while queue:
+                worker = queue.pop(0)
+                if worker.node_id in tried:
+                    continue
+                tried.add(worker.node_id)
+                yield from self._hop(worker, breakdown, txn)
+                partitions = [
+                    p for p in worker.partitions_for_table(table)
+                    if p.tree.find_range(key_range)
+                ]
+                for partition in partitions:
+                    try:
+                        part_rows = yield from worker.read_range(
+                            partition, lo, hi, txn, breakdown, cc, priority,
+                            limit,
+                        )
+                    except SegmentMovedError as moved:
+                        queue.append(self.cluster.worker(moved.target_node_id))
+                        continue
+                    except RecordNotHereError:
+                        continue
+                    for row in part_rows:
+                        by_key.setdefault(schema.key_of(row), row)
+        rows = [row for _key, row in sorted(by_key.items())]
+        return rows if limit is None else rows[:limit]
+
+    # -- table bootstrap -----------------------------------------------------
+
+    def create_table(self, name, schema, owner: "WorkerNode",
+                     key_range=None):
+        """Define a table with one initial partition on ``owner``."""
+        from repro.index.partition_tree import KeyRange
+
+        partitions = self.create_partitioned_table(
+            name, schema, [(key_range or KeyRange(None, None), owner)]
+        )
+        return partitions[0]
+
+    def create_partitioned_table(self, name, schema, assignments):
+        """Define a table with one partition per ``(key_range, worker)``
+        assignment; ranges must not overlap."""
+        from repro.index.global_table import PartitionLocation
+
+        table = self.catalog.define_table(name, schema)
+        partitions = []
+        for key_range, owner in assignments:
+            partition = self.catalog.new_partition(table, owner.node_id)
+            partition.bounds = key_range
+            owner.add_partition(partition)
+            self.gpt.register(
+                name, key_range,
+                PartitionLocation(partition.partition_id, owner.node_id),
+            )
+            partitions.append(partition)
+        return partitions

@@ -1,0 +1,163 @@
+"""Cluster monitoring.
+
+"Every node is monitoring its utilization: CPU, memory consumption,
+network I/O, and disk utilization (storage and IOPS).  Additionally,
+performance-critical data is collected for each DB partition ...  the
+nodes send their monitoring data every few seconds to the master
+node." (Sect. 3.4)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware import specs
+from repro.sim.engine import Environment
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.worker import WorkerNode
+
+
+@dataclasses.dataclass
+class PartitionStats:
+    """Activity attributed to one partition since the last report."""
+
+    partition_id: int
+    page_requests: int
+
+
+@dataclasses.dataclass
+class NodeSample:
+    """One monitoring report from one node."""
+
+    time: float
+    node_id: int
+    cpu_utilization: float
+    disk_utilization: float
+    iops: float
+    net_bytes: int
+    buffer_hit_ratio: float
+    partition_stats: list[PartitionStats]
+    #: Fraction of the node's data-disk capacity holding extents.
+    storage_used_fraction: float = 0.0
+
+
+class _Checkpoint:
+    __slots__ = ("time", "cpu_integral", "disk_integrals", "io_counts",
+                 "net_bytes", "partition_pages")
+
+    def __init__(self):
+        self.time = 0.0
+        self.cpu_integral = 0.0
+        self.disk_integrals: dict[str, float] = {}
+        self.io_counts: dict[str, int] = {}
+        self.net_bytes = 0
+        self.partition_pages: dict[int, int] = {}
+
+
+class ClusterMonitor:
+    """Collects per-node samples at a fixed cadence.
+
+    Run :meth:`run` as a simulation process; the rebalancer and the
+    experiments read :meth:`latest` / :attr:`history`.
+    """
+
+    def __init__(self, env: Environment, workers: typing.Sequence["WorkerNode"],
+                 interval: float = specs.MONITOR_INTERVAL_SECONDS,
+                 history_limit: int = 10_000):
+        self.env = env
+        self.workers = list(workers)
+        self.interval = interval
+        self.history_limit = history_limit
+        self.history: list[NodeSample] = []
+        self._checkpoints: dict[int, _Checkpoint] = {}
+
+    def run(self):
+        """Generator: the periodic monitoring loop (never returns)."""
+        while True:
+            yield self.env.timeout(self.interval)
+            self.collect()
+
+    def collect(self) -> list[NodeSample]:
+        """Take one sample of every active worker right now."""
+        samples = []
+        for worker in self.workers:
+            if not worker.is_active:
+                continue
+            samples.append(self.sample_node(worker))
+        self.history.extend(samples)
+        if len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
+        return samples
+
+    def sample_node(self, worker: "WorkerNode") -> NodeSample:
+        now = self.env.now
+        cp = self._checkpoints.setdefault(worker.node_id, _Checkpoint())
+        elapsed = now - cp.time
+
+        cpu_tracker = worker.cpu.tracker
+        cpu_integral = cpu_tracker.integral(now)
+        if elapsed > 0:
+            cpu_util = (cpu_integral - cp.cpu_integral) / (
+                elapsed * worker.cpu.cores
+            )
+        else:
+            cpu_util = cpu_tracker.in_use / worker.cpu.cores
+
+        disk_util = 0.0
+        iops = 0.0
+        for disk in worker.machine.disks:
+            integral = disk.tracker.integral(now)
+            previous = cp.disk_integrals.get(disk.name, 0.0)
+            if elapsed > 0:
+                disk_util = max(disk_util, (integral - previous) / elapsed)
+                iops += (disk.io_count - cp.io_counts.get(disk.name, 0)) / elapsed
+            cp.disk_integrals[disk.name] = integral
+            cp.io_counts[disk.name] = disk.io_count
+
+        port = worker.port
+        total_net = port.bytes_sent + port.bytes_received
+        net_delta = total_net - cp.net_bytes
+
+        partition_stats = []
+        for pid, pages in worker.partition_page_requests.items():
+            delta = pages - cp.partition_pages.get(pid, 0)
+            partition_stats.append(PartitionStats(pid, delta))
+            cp.partition_pages[pid] = pages
+
+        cp.time = now
+        cp.cpu_integral = cpu_integral
+        cp.net_bytes = total_net
+
+        capacity = sum(
+            d.spec.capacity_bytes for d in worker.disk_space.disks
+        )
+        used = sum(
+            worker.disk_space.used_bytes(d) for d in worker.disk_space.disks
+        )
+
+        return NodeSample(
+            time=now,
+            node_id=worker.node_id,
+            cpu_utilization=cpu_util,
+            disk_utilization=disk_util,
+            iops=iops,
+            net_bytes=net_delta,
+            buffer_hit_ratio=worker.buffer.hit_ratio,
+            partition_stats=partition_stats,
+            storage_used_fraction=used / capacity if capacity else 0.0,
+        )
+
+    def latest(self) -> dict[int, NodeSample]:
+        """The most recent sample per node."""
+        out: dict[int, NodeSample] = {}
+        for sample in self.history:
+            out[sample.node_id] = sample
+        return out
+
+    def latest_for(self, node_id: int) -> NodeSample | None:
+        for sample in reversed(self.history):
+            if sample.node_id == node_id:
+                return sample
+        return None

@@ -1,0 +1,104 @@
+"""Threshold policies for scale-out / scale-in decisions.
+
+"The master checks the incoming performance data to predefined
+thresholds — with both upper and lower bounds.  If an overloaded
+component is detected, it will decide where to distribute data and
+whether to power on additional nodes ...  Similar, underutilized nodes
+trigger a scale-in protocol." (Sect. 3.4)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware import specs
+from repro.cluster.monitor import NodeSample
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyThresholds:
+    """Upper/lower bounds the master compares samples against."""
+
+    cpu_upper: float = specs.CPU_UTILIZATION_UPPER_BOUND
+    cpu_lower: float = specs.CPU_UTILIZATION_LOWER_BOUND
+    disk_upper: float = 0.85
+    disk_lower: float = 0.10
+    #: "If a node goes out of storage space, DB partitions are split up
+    #: on nodes with free space" (Sect. 3.4).
+    storage_upper: float = 0.90
+    #: Consecutive violating samples before a decision fires — debounce
+    #: against transient spikes.
+    consecutive_samples: int = 2
+
+    def __post_init__(self):
+        if not 0 < self.cpu_lower < self.cpu_upper <= 1:
+            raise ValueError("cpu thresholds must satisfy 0 < lower < upper <= 1")
+        if not 0 < self.disk_lower < self.disk_upper <= 1:
+            raise ValueError("disk thresholds must satisfy 0 < lower < upper <= 1")
+        if self.consecutive_samples < 1:
+            raise ValueError("consecutive_samples must be >= 1")
+
+
+@dataclasses.dataclass
+class ScaleDecision:
+    """What the policy wants done, for the rebalancer to execute."""
+
+    overloaded_nodes: list[int] = dataclasses.field(default_factory=list)
+    underloaded_nodes: list[int] = dataclasses.field(default_factory=list)
+    space_pressed_nodes: list[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def wants_scale_out(self) -> bool:
+        return bool(self.overloaded_nodes)
+
+    @property
+    def wants_scale_in(self) -> bool:
+        return (bool(self.underloaded_nodes) and not self.overloaded_nodes
+                and not self.space_pressed_nodes)
+
+    @property
+    def wants_space_relief(self) -> bool:
+        return bool(self.space_pressed_nodes)
+
+
+class ThresholdPolicy:
+    """Stateful threshold evaluation over the monitoring stream."""
+
+    def __init__(self, thresholds: PolicyThresholds | None = None):
+        self.thresholds = thresholds or PolicyThresholds()
+        self._over_streak: dict[int, int] = {}
+        self._under_streak: dict[int, int] = {}
+
+    def observe(self, samples: typing.Sequence[NodeSample]) -> ScaleDecision:
+        """Feed one monitoring round; returns the (possibly empty)
+        decision."""
+        decision = ScaleDecision()
+        t = self.thresholds
+        for sample in samples:
+            node = sample.node_id
+            over = (
+                sample.cpu_utilization > t.cpu_upper
+                or sample.disk_utilization > t.disk_upper
+            )
+            under = (
+                sample.cpu_utilization < t.cpu_lower
+                and sample.disk_utilization < t.disk_lower
+            )
+            self._over_streak[node] = self._over_streak.get(node, 0) + 1 if over else 0
+            self._under_streak[node] = (
+                self._under_streak.get(node, 0) + 1 if under else 0
+            )
+            if self._over_streak[node] >= t.consecutive_samples:
+                decision.overloaded_nodes.append(node)
+            if self._under_streak[node] >= t.consecutive_samples:
+                decision.underloaded_nodes.append(node)
+            # Space pressure needs no debounce: capacity does not spike.
+            if sample.storage_used_fraction > t.storage_upper:
+                decision.space_pressed_nodes.append(node)
+        return decision
+
+    def reset(self, node_id: int) -> None:
+        """Clear streaks after acting on a node (avoid refiring)."""
+        self._over_streak.pop(node_id, None)
+        self._under_streak.pop(node_id, None)

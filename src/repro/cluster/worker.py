@@ -1,0 +1,518 @@
+"""A worker node's DBMS instance: local storage, buffer, WAL, and the
+record access layer (under MVCC or MGL-RX).
+
+Each worker owns partitions — "the node owning a partition is
+responsible for its integrity and concurrency control" — but may also
+*host* segments it does not own (shared-disk style), which is exactly
+the physical-partitioning configuration whose remote page reads the
+paper measures as its downfall.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.operators import SegmentMovedError
+from repro.hardware import specs
+from repro.hardware.disk import Disk
+from repro.hardware.network import Network
+from repro.hardware.node import NodeMachine
+from repro.index.partition_tree import Forwarding
+from repro.metrics.breakdown import CostBreakdown
+from repro.sim.engine import Environment
+from repro.storage.buffer import BufferPool
+from repro.storage.disk_space import DiskSpaceManager
+from repro.storage.page import Page
+from repro.storage.record import RecordVersion
+from repro.storage.segment import Segment, SegmentFullError
+from repro.txn import LockMode, TransactionManager, mvcc
+from repro.txn.manager import Transaction
+from repro.txn.wal import LogManager
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.catalog import Partition
+    from repro.cluster.cluster import SegmentDirectory
+
+
+class RecordNotHereError(RuntimeError):
+    """This node holds no partition covering the key — the router
+    should try the other candidate node."""
+
+
+class _SegmentPageIO:
+    """Resolves a page's physical home at I/O time.
+
+    Local segments read/write the owning disk directly; segments hosted
+    on another node (physical partitioning) pay an RPC plus the wire
+    transfer of the page on top of the remote disk access.
+    """
+
+    def __init__(self, worker: "WorkerNode", segment_id: int):
+        self.worker = worker
+        self.segment_id = segment_id
+
+    def _locate(self) -> tuple["WorkerNode", Disk]:
+        return self.worker.directory.location(self.segment_id)
+
+    def read(self, breakdown: CostBreakdown | None, priority: int):
+        host, disk = self._locate()
+        if host is self.worker:
+            yield from disk.read_page(priority)
+            return
+        network = self.worker.network
+        t0 = self.worker.env.now
+        yield from network.rpc_delay()
+        yield from disk.read_page(priority)
+        yield from network.transfer(
+            host.port, self.worker.port, specs.PAGE_BYTES, priority
+        )
+        if breakdown is not None:
+            # The disk share is charged by the caller; attribute the
+            # whole remote detour here as network time minus disk time
+            # is not separable cheaply — call it network.
+            breakdown.add("network_io", self.worker.env.now - t0)
+
+    def write(self, breakdown: CostBreakdown | None, priority: int):
+        host, disk = self._locate()
+        if host is self.worker:
+            yield from disk.write_page(priority)
+            return
+        network = self.worker.network
+        t0 = self.worker.env.now
+        yield from network.transfer(
+            self.worker.port, host.port, specs.PAGE_BYTES, priority
+        )
+        yield from disk.write_page(priority)
+        if breakdown is not None:
+            breakdown.add("network_io", self.worker.env.now - t0)
+
+
+class WorkerNode:
+    """The DBMS software running on one cluster node."""
+
+    def __init__(self, env: Environment, machine: NodeMachine, network: Network,
+                 txns: TransactionManager, directory: "SegmentDirectory",
+                 buffer_pages: int):
+        self.env = env
+        self.machine = machine
+        self.network = network
+        self.txns = txns
+        self.directory = directory
+
+        data_disks, log_disk = self._assign_disk_roles(machine.disks)
+        self.log_disk = log_disk
+        self.disk_space = DiskSpaceManager(data_disks)
+        self.wal = LogManager(env, log_disk, name=f"node{machine.node_id}.wal")
+        self.buffer = BufferPool(
+            env, machine.cpu, buffer_pages,
+            resolver=self._resolve_page_io,
+            name=f"node{machine.node_id}.buffer",
+        )
+        self.partitions: dict[int, "Partition"] = {}
+        self._page_segment: dict[int, int] = {}
+        #: Per-partition activity counters for the monitor (Sect. 3.4).
+        self.partition_page_requests: dict[int, int] = {}
+        self.queries_executed = 0
+
+    @staticmethod
+    def _assign_disk_roles(disks: typing.Sequence[Disk]) -> tuple[list[Disk], Disk]:
+        """Data on the fast disks, WAL on the HDD when one exists."""
+        if not disks:
+            raise ValueError("a worker needs at least one disk")
+        hdds = [d for d in disks if d.spec.kind == "hdd"]
+        if hdds and len(disks) > 1:
+            log_disk = hdds[0]
+            data = [d for d in disks if d is not log_disk]
+        else:
+            log_disk = disks[0]
+            data = list(disks)
+        return data, log_disk
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self.machine.node_id
+
+    @property
+    def cpu(self):
+        return self.machine.cpu
+
+    @property
+    def port(self):
+        return self.machine.port
+
+    @property
+    def is_active(self) -> bool:
+        return self.machine.is_active
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WorkerNode {self.node_id} partitions={len(self.partitions)}>"
+
+    # -- partition & segment hosting ----------------------------------------
+
+    def add_partition(self, partition: "Partition") -> None:
+        partition.node_id = self.node_id
+        self.partitions[partition.partition_id] = partition
+
+    def remove_partition(self, partition_id: int) -> "Partition":
+        return self.partitions.pop(partition_id)
+
+    def partitions_for_table(self, table: str) -> list["Partition"]:
+        return [p for p in self.partitions.values() if p.table.name == table]
+
+    def host_segment(self, segment: Segment, disk: Disk | None = None) -> Disk:
+        """Store a segment's extent on a local disk and publish it."""
+        chosen = self.disk_space.place(segment, disk)
+        self.directory.register(segment.segment_id, self, chosen)
+        return chosen
+
+    def ensure_hosted(self, segment: Segment) -> None:
+        """Place a freshly created segment's extent if it has no home."""
+        if segment.segment_id not in self.directory:
+            self.host_segment(segment)
+
+    def unhost_segment(self, segment: Segment) -> None:
+        self.disk_space.evict(segment)
+        self.directory.unregister(segment.segment_id)
+        for page in segment.pages:
+            frame = self.buffer._frames.get(page.page_id)
+            if frame is not None and frame.pins > 0:
+                # A reader still holds the page; the frame ages out of
+                # the pool naturally.  Its backing extent is gone, so it
+                # must never be written back.
+                frame.dirty = False
+            else:
+                self.buffer.discard(page.page_id)
+            self._page_segment.pop(page.page_id, None)
+
+    # -- page access ----------------------------------------------------------
+
+    def _resolve_page_io(self, page_id: int) -> _SegmentPageIO:
+        segment_id = self._page_segment.get(page_id)
+        if segment_id is None:
+            raise KeyError(f"node {self.node_id}: unknown page {page_id}")
+        return _SegmentPageIO(self, segment_id)
+
+    def fetch_page(self, page: Page, breakdown: CostBreakdown | None = None,
+                   priority: int = 0):
+        """Generator: pin ``page`` through this node's buffer pool."""
+        self._page_segment[page.page_id] = page.segment_id
+        yield from self.buffer.fetch(page.page_id, breakdown, priority)
+
+    def unpin_page(self, page: Page, dirty: bool = False) -> None:
+        self.buffer.unpin(page.page_id, dirty)
+
+    def note_partition_pages(self, partition_id: int, pages: int) -> None:
+        self.partition_page_requests[partition_id] = (
+            self.partition_page_requests.get(partition_id, 0) + pages
+        )
+
+    # -- record access layer -----------------------------------------------
+
+    def find_partition(self, table: str, key: typing.Any) -> "Partition":
+        """The local partition whose tree covers ``key``."""
+        for partition in self.partitions_for_table(table):
+            if partition.tree.find(key) is not None:
+                return partition
+        raise RecordNotHereError(
+            f"node {self.node_id}: no local partition of {table!r} covers {key!r}"
+        )
+
+    def _resolve_segment(self, partition: "Partition", key: typing.Any) -> Segment:
+        target = partition.segment_for(key)
+        if target is None:
+            raise RecordNotHereError(
+                f"node {self.node_id}: no segment covers {key!r}"
+            )
+        if isinstance(target, Forwarding):
+            raise SegmentMovedError(target.segment_id, target.target_node_id)
+        return target
+
+    def read_record(self, partition: "Partition", key: typing.Any,
+                    txn: Transaction, breakdown: CostBreakdown | None = None,
+                    cc: str = "mvcc", priority: int = 0):
+        """Generator: point read; returns the row tuple or None."""
+        segment = self._resolve_segment(partition, key)
+        if cc == "locking":
+            yield from self.txns.locks.lock_record(
+                txn.txn_id, partition.table.name, partition.partition_id,
+                key, LockMode.S, breakdown,
+            )
+        yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
+        result = None
+        pinned: list[int] = []
+        try:
+            for page_no, _slot, version in segment.versions_for(key):
+                page = segment.pages[page_no]
+                if page.page_id not in pinned:
+                    yield from self.fetch_page(page, breakdown, priority)
+                    pinned.append(page.page_id)
+                if self._version_readable(version, txn, cc):
+                    result = version.values
+                    break
+        finally:
+            for page_id in pinned:
+                self.buffer.unpin(page_id)
+        self.note_partition_pages(partition.partition_id, len(pinned))
+        return result
+
+    def read_range(self, partition: "Partition", lo: typing.Any,
+                   hi: typing.Any, txn: Transaction,
+                   breakdown: CostBreakdown | None = None,
+                   cc: str = "mvcc", priority: int = 0,
+                   limit: int | None = None):
+        """Generator: key-ordered range read ``[lo, hi)`` with segment
+        pruning; returns the row list."""
+        from repro.index.partition_tree import KeyRange
+
+        key_range = KeyRange(lo, hi)
+        if cc == "locking":
+            # Range reads take a partition-level S lock (simple range
+            # protection under MGL).
+            yield from self.txns.locks.lock_partition(
+                txn.txn_id, partition.table.name, partition.partition_id,
+                LockMode.S, breakdown,
+            )
+        rows: list[tuple] = []
+        pages_touched = 0
+        for target in partition.tree.find_range(key_range):
+            if target is None:
+                continue
+            if isinstance(target, Forwarding):
+                # Moved segments are read on their new node — the master
+                # visits every candidate during a move and merges.
+                continue
+            yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
+            for _key, chain in target.index_scan(lo=lo, hi=hi):
+                pinned: list[int] = []
+                try:
+                    for page_no, slot, version in (
+                        (pno, s, target.pages[pno].get(s)) for pno, s in chain
+                    ):
+                        page = target.pages[page_no]
+                        if page.page_id not in pinned:
+                            yield from self.fetch_page(page, breakdown, priority)
+                            pinned.append(page.page_id)
+                            pages_touched += 1
+                        if self._version_readable(version, txn, cc):
+                            rows.append(version.values)
+                            break
+                finally:
+                    for page_id in pinned:
+                        self.buffer.unpin(page_id)
+                if limit is not None and len(rows) >= limit:
+                    break
+            if limit is not None and len(rows) >= limit:
+                break
+        self.note_partition_pages(partition.partition_id, pages_touched)
+        rows.sort(key=partition.schema.key_of)
+        return rows if limit is None else rows[:limit]
+
+    @staticmethod
+    def _version_readable(version: RecordVersion, txn: Transaction, cc: str) -> bool:
+        if cc == "mvcc":
+            return mvcc.is_visible(version, txn)
+        # Locking: read the newest committed version (plus own writes).
+        # Uncommitted delete-marks from the migration's system
+        # transactions stay invisible — "old copies of the records
+        # still remain until the movement is finished" (Sect. 3.5).
+        created_ok = (
+            version.created_ts is not None or version.created_by == txn.txn_id
+        )
+        deleted = (
+            version.deleted_by == txn.txn_id or version.deleted_ts is not None
+        )
+        return created_ok and not deleted
+
+    def insert_record(self, partition: "Partition", values: typing.Sequence,
+                      txn: Transaction, breakdown: CostBreakdown | None = None,
+                      cc: str = "mvcc", priority: int = 0,
+                      announce: bool = True):
+        """Generator: transactional insert; returns the record key."""
+        schema = partition.schema
+        version = RecordVersion.make(schema, values, txn.txn_id)
+        if announce:
+            yield from self._announce_write(partition, txn, breakdown)
+        target = partition.ensure_segment_for(version.key)
+        if isinstance(target, Forwarding):
+            raise SegmentMovedError(target.segment_id, target.target_node_id)
+        self.ensure_hosted(target)
+        if cc == "locking":
+            yield from self.txns.locks.lock_record(
+                txn.txn_id, partition.table.name, partition.partition_id,
+                version.key, LockMode.X, breakdown,
+            )
+        yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
+        try:
+            location = mvcc.insert(target, version, txn)
+        except SegmentFullError:
+            fresh = partition.split_full_segment(target, version.key)
+            self.ensure_hosted(fresh)
+            # The split may have routed our key to either half.
+            target = partition.segment_for(version.key)
+            location = mvcc.insert(target, version, txn)
+        yield from self._dirty_page(target, location[0], breakdown, priority)
+        yield from self._maintain_secondary(partition, version.values, priority)
+        self._log_write(txn, "insert", partition, version)
+        self.note_partition_pages(partition.partition_id, 1)
+        return version.key
+
+    def update_record(self, partition: "Partition", key: typing.Any,
+                      values: typing.Sequence, txn: Transaction,
+                      breakdown: CostBreakdown | None = None,
+                      cc: str = "mvcc", priority: int = 0,
+                      announce: bool = True):
+        """Generator: transactional update (new version chained)."""
+        if announce:
+            yield from self._announce_write(partition, txn, breakdown)
+        segment = self._resolve_segment(partition, key)
+        if cc == "locking":
+            yield from self.txns.locks.lock_record(
+                txn.txn_id, partition.table.name, partition.partition_id,
+                key, LockMode.X, breakdown,
+            )
+        yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
+        version = RecordVersion.make(partition.schema, values, txn.txn_id)
+        if version.key != key:
+            raise ValueError(
+                f"update may not change the primary key ({key!r} -> {version.key!r})"
+            )
+        location = mvcc.update(segment, key, version, txn)
+        yield from self._dirty_page(segment, location[0], breakdown, priority)
+        yield from self._maintain_secondary(partition, version.values, priority)
+        self._log_write(txn, "update", partition, version)
+        if cc == "locking":
+            # In-place updates must log the before-image for UNDO;
+            # under MVCC the superseded version itself serves that role.
+            self.wal.append(
+                txn.txn_id, "undo", (partition.table.name, key),
+                nbytes=version.size_bytes,
+            )
+        self.note_partition_pages(partition.partition_id, 1)
+
+    def delete_record(self, partition: "Partition", key: typing.Any,
+                      txn: Transaction, breakdown: CostBreakdown | None = None,
+                      cc: str = "mvcc", priority: int = 0,
+                      announce: bool = True):
+        """Generator: transactional delete (delete-mark)."""
+        if announce:
+            yield from self._announce_write(partition, txn, breakdown)
+        segment = self._resolve_segment(partition, key)
+        if cc == "locking":
+            yield from self.txns.locks.lock_record(
+                txn.txn_id, partition.table.name, partition.partition_id,
+                key, LockMode.X, breakdown,
+            )
+        yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
+        mvcc.delete(segment, key, txn)
+        chain = segment.versions_for(key)
+        if chain:
+            yield from self._dirty_page(segment, chain[0][0], breakdown, priority)
+        self._log_write(txn, "delete", partition, key_only=key)
+        self.note_partition_pages(partition.partition_id, 1)
+
+    def _maintain_secondary(self, partition: "Partition",
+                            values: typing.Sequence, priority: int):
+        """Generator: update the partition's secondary indexes."""
+        if not partition.secondary_indexes:
+            return
+        partition.index_row(values)
+        yield from self.cpu.execute(
+            len(partition.secondary_indexes) * specs.CPU_INDEX_SECONDS_PER_OP,
+            priority,
+        )
+
+    def read_by_secondary(self, partition: "Partition", index_name: str,
+                          secondary_key: typing.Any, txn: Transaction,
+                          breakdown: CostBreakdown | None = None,
+                          cc: str = "mvcc", priority: int = 0):
+        """Generator: fetch the visible rows matching ``secondary_key``.
+
+        Candidates from the index are re-read through the primary path;
+        stale entries (deleted rows, rows whose indexed column changed)
+        are filtered out.
+        """
+        index = partition.secondary_indexes.get(index_name)
+        if index is None:
+            raise KeyError(
+                f"partition {partition.partition_id} has no index "
+                f"{index_name!r}"
+            )
+        yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
+        rows = []
+        wanted = secondary_key if isinstance(secondary_key, tuple) \
+            else (secondary_key,)
+        for pk in index.candidates(secondary_key):
+            row = yield from self.read_record(
+                partition, pk, txn, breakdown, cc, priority
+            )
+            if row is None:
+                continue
+            if index.secondary_key_of(row) == wanted:
+                rows.append(row)
+        return rows
+
+    def _announce_write(self, partition: "Partition", txn: Transaction,
+                        breakdown: CostBreakdown | None):
+        """Generator: partition-granule write intent (IX), under either
+        CC scheme.
+
+        The repartitioning protocol depends on it: the mover's
+        partition read lock "wait[s] for pre-existing queries to finish
+        updating the partition.  Updating transactions need to commit
+        before the lock is granted" (Sect. 4.3) — which requires even
+        MVCC writers to announce themselves at the partition granule.
+        """
+        yield from self.txns.locks.lock_partition(
+            txn.txn_id, partition.table.name, partition.partition_id,
+            LockMode.IX, breakdown,
+        )
+
+    def _dirty_page(self, segment: Segment, page_no: int,
+                    breakdown: CostBreakdown | None, priority: int):
+        page = segment.pages[page_no]
+        yield from self.fetch_page(page, breakdown, priority)
+        self.unpin_page(page, dirty=True)
+
+    def _log_write(self, txn: Transaction, kind: str, partition: "Partition",
+                   version: RecordVersion | None = None,
+                   key_only: typing.Any = None) -> None:
+        if version is not None:
+            payload = (partition.table.name, version.key, version.values)
+            nbytes = version.size_bytes + 48
+        else:
+            payload = (partition.table.name, key_only)
+            nbytes = 64
+        txn.note_log(self.wal)
+        self.wal.append(txn.txn_id, kind, payload, nbytes)
+
+    def commit(self, txn: Transaction, breakdown: CostBreakdown | None = None,
+               cc: str = "mvcc", priority: int = 0):
+        """Generator: commit, with immediate version GC under locking
+        (single-version storage discipline)."""
+        yield from self.txns.commit(
+            txn, breakdown, priority, immediate_gc=(cc == "locking")
+        )
+
+    # -- bulk segment I/O (used by the migration engine) ----------------------
+
+    def read_segment(self, segment: Segment, breakdown: CostBreakdown | None = None,
+                     priority: int = 0):
+        """Generator: sequential read of a whole segment extent."""
+        disk = self.disk_space.disk_of(segment.segment_id)
+        t0 = self.env.now
+        nbytes = max(segment.used_bytes, specs.PAGE_BYTES)
+        yield from disk.read(nbytes, sequential=False, priority=priority)
+        if breakdown is not None:
+            breakdown.add("disk_io", self.env.now - t0)
+
+    def write_segment(self, segment: Segment, breakdown: CostBreakdown | None = None,
+                      priority: int = 0):
+        """Generator: sequential write of a whole segment extent."""
+        disk = self.disk_space.disk_of(segment.segment_id)
+        t0 = self.env.now
+        nbytes = max(segment.used_bytes, specs.PAGE_BYTES)
+        yield from disk.write(nbytes, sequential=False, priority=priority)
+        if breakdown is not None:
+            breakdown.add("disk_io", self.env.now - t0)

@@ -1,0 +1,31 @@
+"""The paper's contribution: dynamic partitioning of a shared-nothing
+DB cluster under three schemes — physical, logical, and physiological —
+plus the master-side rebalancer that drives scale-out/scale-in and the
+helper-node protocol.
+"""
+
+from repro.core.schemes import MoveReport, PartitioningScheme
+from repro.core.physical import PhysicalPartitioning
+from repro.core.logical import LogicalPartitioning
+from repro.core.physiological import PhysiologicalPartitioning
+from repro.core.migration import (
+    balance_local_disks,
+    copy_segment_bytes,
+    move_extent_local,
+    transfer_segment_storage,
+)
+from repro.core.rebalancer import HelperProtocol, Rebalancer
+
+__all__ = [
+    "HelperProtocol",
+    "LogicalPartitioning",
+    "MoveReport",
+    "PartitioningScheme",
+    "PhysicalPartitioning",
+    "PhysiologicalPartitioning",
+    "Rebalancer",
+    "balance_local_disks",
+    "copy_segment_bytes",
+    "move_extent_local",
+    "transfer_segment_storage",
+]

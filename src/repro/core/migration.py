@@ -1,0 +1,164 @@
+"""Segment-granular data movement machinery shared by the schemes.
+
+Physical and physiological partitioning both ship raw segments — "all
+pages in a segment will be copied/moved among nodes in one batch",
+"copies data almost at raw disk speed".  The copy is chunked so that
+concurrent query I/O can interleave on the disks and the wire, which is
+the contention the paper measures in Fig. 6/7.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hardware import specs
+from repro.hardware.disk import Disk
+from repro.metrics.breakdown import CostBreakdown
+from repro.storage.segment import Segment
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.worker import WorkerNode
+
+#: Copy granularity: small enough to interleave with query I/O, large
+#: enough to stay near sequential bandwidth.
+COPY_CHUNK_BYTES = 2 * 1024 * 1024
+
+
+def flush_segment_pages(worker: "WorkerNode", segment: Segment,
+                        breakdown: CostBreakdown | None = None,
+                        priority: int = 0):
+    """Generator: write back the segment's dirty buffered pages so the
+    on-disk extent is current before it is copied."""
+    for page in segment.pages:
+        frame = worker.buffer._frames.get(page.page_id)
+        if frame is not None and frame.dirty and frame.pins == 0:
+            yield from worker.buffer._write_back(page.page_id, breakdown, priority)
+            frame.dirty = False
+
+
+def copy_segment_bytes(cluster: "Cluster", segment: Segment,
+                       source_disk: Disk, target_disk: Disk,
+                       source: "WorkerNode", target: "WorkerNode",
+                       priority: int = 0):
+    """Generator: stream a segment's bytes source-disk -> wire ->
+    target-disk in chunks.  Returns the byte count copied."""
+    nbytes = max(segment.used_bytes, specs.PAGE_BYTES)
+    remaining = nbytes
+    first = True
+    while remaining > 0:
+        chunk = min(remaining, COPY_CHUNK_BYTES)
+        yield from source_disk.read(chunk, sequential=not first, priority=priority)
+        yield from cluster.network.transfer(
+            source.port, target.port, chunk, priority
+        )
+        yield from target_disk.write(chunk, sequential=not first, priority=priority)
+        remaining -= chunk
+        first = False
+    return nbytes
+
+
+def move_extent_local(cluster: "Cluster", worker: "WorkerNode",
+                      segment: Segment, target_disk: Disk,
+                      priority: int = 0):
+    """Generator: move a segment's extent between two disks of the SAME
+    node — the paper's local balancing step ("utilization among storage
+    disks is first locally balanced on each node, before an allocation
+    of data from/to other nodes is considered", Sect. 3.4).
+
+    Returns the bytes copied (0 when the segment already sits there).
+    """
+    source_disk = worker.disk_space.disk_of(segment.segment_id)
+    if source_disk is target_disk:
+        return 0
+    yield from flush_segment_pages(worker, segment, None, priority)
+    nbytes = max(segment.used_bytes, specs.PAGE_BYTES)
+    remaining = nbytes
+    first = True
+    while remaining > 0:
+        chunk = min(remaining, COPY_CHUNK_BYTES)
+        yield from source_disk.read(chunk, sequential=not first,
+                                    priority=priority)
+        yield from target_disk.write(chunk, sequential=not first,
+                                     priority=priority)
+        remaining -= chunk
+        first = False
+    cluster.directory.unregister(segment.segment_id)
+    worker.disk_space.evict(segment)
+    worker.disk_space.place(segment, target_disk)
+    cluster.directory.register(segment.segment_id, worker, target_disk)
+    return nbytes
+
+
+def balance_local_disks(cluster: "Cluster", worker: "WorkerNode",
+                        max_moves: int = 8, priority: int = 0):
+    """Generator: even out extent counts across a node's data disks.
+
+    Greedy: repeatedly move one segment from the fullest to the
+    emptiest disk while the imbalance exceeds one extent.  Returns the
+    number of extents moved.
+    """
+    moves = 0
+    while moves < max_moves:
+        disks = worker.disk_space.disks
+        if len(disks) < 2:
+            return moves
+        by_use = sorted(disks, key=worker.disk_space.used_bytes)
+        emptiest, fullest = by_use[0], by_use[-1]
+        gap = (worker.disk_space.used_bytes(fullest)
+               - worker.disk_space.used_bytes(emptiest))
+        candidates = [
+            seg_id for seg_id, disk in worker.disk_space.placements()
+            if disk is fullest
+        ]
+        if not candidates:
+            return moves
+        # One extent's worth of gap is balanced enough.
+        sample = None
+        for seg_id in candidates:
+            for partition in worker.partitions.values():
+                segment = partition.segments.get(seg_id)
+                if segment is not None:
+                    sample = segment
+                    break
+            if sample is not None:
+                break
+        if sample is None or gap <= sample.extent_bytes:
+            return moves
+        if worker.disk_space.free_bytes(emptiest) < sample.extent_bytes:
+            return moves
+        yield from move_extent_local(cluster, worker, sample, emptiest,
+                                     priority)
+        moves += 1
+    return moves
+
+
+def transfer_segment_storage(cluster: "Cluster", segment: Segment,
+                             source: "WorkerNode", target: "WorkerNode",
+                             breakdown: CostBreakdown | None = None,
+                             priority: int = 0):
+    """Generator: move a segment's physical extent between nodes.
+
+    Flushes dirty pages, reserves a target extent, streams the bytes,
+    then swaps the directory entry so subsequent page I/O lands on the
+    target's disk.  Logical ownership is NOT touched — that is each
+    scheme's business.  Returns the bytes copied.
+    """
+    t0 = cluster.env.now
+    yield from flush_segment_pages(source, segment, breakdown, priority)
+    source_disk = source.disk_space.disk_of(segment.segment_id)
+    # Both extents exist during the copy; the directory flips at the end.
+    target_disk = target.disk_space.place(segment)
+    try:
+        nbytes = yield from copy_segment_bytes(
+            cluster, segment, source_disk, target_disk, source, target, priority
+        )
+    except BaseException:
+        target.disk_space.evict(segment)
+        raise
+    cluster.directory.unregister(segment.segment_id)
+    source.disk_space.evict(segment)
+    cluster.directory.register(segment.segment_id, target, target_disk)
+    if breakdown is not None:
+        breakdown.add("disk_io", cluster.env.now - t0)
+    return nbytes

@@ -1,0 +1,235 @@
+"""Physiological partitioning — the paper's contribution.
+
+Key ranges are encapsulated in segments, each carrying its own
+primary-key index; a partition is only a small *top index* over its
+segments.  Moving a segment therefore combines "the speed of data
+movement with the ability of transferring ownership of data":
+
+1.  the master is marked first (dual pointers in the global table),
+2.  a read lock on the source partition drains writers ("updating
+    transactions need to commit before the lock is granted; by
+    ensuring that all changes to the partition are committed, no UNDO
+    information needs to be shipped"),
+3.  the segment's raw bytes stream to the target at near disk speed,
+4.  the target splices the segment into its partition tree — a tiny
+    top-index update — and immediately resumes query processing,
+5.  a forwarding pointer on the source redirects in-flight queries
+    until every pre-move transaction has drained, then it is retired,
+6.  the move acts as a checkpoint: the old log file stays on the
+    source, new updates log on the target.  (Sect. 4.3)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.migration import transfer_segment_storage
+from repro.core.schemes import (
+    MoveReport,
+    PartitioningScheme,
+    ordered_segments,
+    segment_chunks,
+)
+from repro.hardware import specs
+from repro.index.global_table import PartitionLocation
+from repro.index.partition_tree import KeyRange
+from repro.metrics.breakdown import CostBreakdown
+from repro.txn import LockMode
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.catalog import Partition
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.worker import WorkerNode
+
+#: How often the drain watcher re-checks for lingering old transactions.
+DRAIN_POLL_SECONDS = 1.0
+
+#: Generous bound on draining one partition's writers.
+WRITER_DRAIN_TIMEOUT = 300.0
+
+
+class PhysiologicalPartitioning(PartitioningScheme):
+    """Ship whole segments AND transfer their ownership."""
+
+    name = "physiological"
+    transfers_ownership = True
+
+    def move_range(self, cluster: "Cluster", partition: "Partition",
+                   source: "WorkerNode", target: "WorkerNode",
+                   key_range: KeyRange,
+                   breakdown: CostBreakdown | None = None,
+                   cc: str = "mvcc", priority: int = 0):
+        """Generator: move the segments of ``key_range`` to ``target``.
+
+        ``key_range`` must be aligned to segment boundaries (the low
+        bound equals some attached segment's low bound) — use
+        :meth:`migrate_fraction` for automatic alignment.
+        """
+        env = cluster.env
+        table = partition.table.name
+        report = MoveReport(
+            scheme=self.name, table=table,
+            source_node=source.node_id, target_node=target.node_id,
+            started_at=env.now,
+        )
+        if not any(
+            seg_range.overlaps(key_range)
+            for seg_range, _seg in ordered_segments(partition)
+        ):
+            report.finished_at = env.now
+            return report
+
+        # Step 1 — the master is updated first, with dual pointers.
+        target_partition = self._register_move(
+            cluster, partition, source, target, key_range
+        )
+
+        # Steps 2..6 — per segment: drain writers, stream, splice.
+        # Segments are picked from the LIVE tree each iteration because
+        # concurrent inserts may split segments while earlier ones are
+        # being copied; the range is re-read under the partition lock,
+        # where it is stable.
+        txns = cluster.txns
+        moved_ids: set[int] = set()
+        while True:
+            segment = self._next_segment(partition, key_range, moved_ids)
+            if segment is None:
+                break
+            mover = txns.begin(is_system=True)
+            try:
+                yield from txns.locks.lock_partition(
+                    mover.txn_id, table, partition.partition_id,
+                    LockMode.S, breakdown, timeout=WRITER_DRAIN_TIMEOUT,
+                )
+                seg_range = partition.tree.range_of(segment.segment_id)
+                if source.disk_space.holds(segment.segment_id):
+                    nbytes = yield from transfer_segment_storage(
+                        cluster, segment, source, target, breakdown, priority
+                    )
+                else:
+                    nbytes = 0  # empty segment: pure metadata handover
+                # Source: leave a forwarding pointer for in-flight work.
+                partition.detach_segment(segment.segment_id)
+                if nbytes:
+                    partition.tree.attach(segment.segment_id, seg_range, None)
+                    partition.tree.forward(segment.segment_id, target.node_id)
+                for page in segment.pages:
+                    frame = source.buffer._frames.get(page.page_id)
+                    if frame is not None and frame.pins == 0:
+                        source.buffer.discard(page.page_id)
+                # Target: splice into the top index — the cheap update
+                # that makes this scheme fast.
+                yield from target.cpu.execute(
+                    specs.CPU_INDEX_SECONDS_PER_OP, priority
+                )
+                target_partition.attach_segment(segment, seg_range)
+                # The move acts as a checkpoint on the source log.
+                source.wal.checkpoint(
+                    payload=("segment-moved", segment.segment_id, target.node_id)
+                )
+                yield from txns.commit(mover, breakdown, priority)
+            except BaseException:
+                if mover.state.value == "active":
+                    txns.abort(mover)
+                raise
+            moved_ids.add(segment.segment_id)
+            report.segments_moved += 1
+            report.bytes_copied += nbytes
+            report.records_moved += segment.record_count
+            # Step 5 — retire the forwarding pointer once transactions
+            # that might still route via the source have drained.
+            if nbytes:
+                env.process(
+                    self._retire_forwarding(
+                        cluster, partition, segment.segment_id,
+                        txns.oracle.current,
+                    ),
+                    name=f"retire-fwd-{segment.segment_id}",
+                )
+
+        # Step 1' — repartitioning done: delete the old pointer.
+        cluster.master.gpt.finish_move(table, target_partition.partition_id)
+        report.finished_at = env.now
+        return report
+
+    @staticmethod
+    def _next_segment(partition: "Partition", key_range: KeyRange,
+                      moved_ids: set[int]):
+        """The lowest-keyed live segment in the range not yet moved."""
+        for seg_range, segment in ordered_segments(partition):
+            if segment.segment_id in moved_ids:
+                continue
+            if seg_range.overlaps(key_range):
+                return segment
+        return None
+
+    @staticmethod
+    def _register_move(cluster: "Cluster", partition: "Partition",
+                       source: "WorkerNode", target: "WorkerNode",
+                       key_range: KeyRange) -> "Partition":
+        """Create the receiving partition and set up the master's dual
+        pointers for the moved range."""
+        table = partition.table.name
+        gpt = cluster.master.gpt
+        registered = gpt.range_of(table, partition.partition_id)
+        target_partition = cluster.catalog.new_partition(
+            partition.table, target.node_id
+        )
+        target_partition.bounds = key_range
+        target.add_partition(target_partition)
+        if key_range.low is None or key_range.low == registered.low:
+            # Whole-partition handover: replace the entry outright.
+            gpt.unregister(table, partition.partition_id)
+            gpt.register(
+                table, registered,
+                PartitionLocation(
+                    target_partition.partition_id, source.node_id,
+                    moving_to_node_id=target.node_id,
+                ),
+            )
+        else:
+            gpt.split(
+                table, partition.partition_id, key_range.low,
+                target_partition.partition_id, source.node_id,
+            )
+            gpt.begin_move(table, target_partition.partition_id, target.node_id)
+        return target_partition
+
+    @staticmethod
+    def _retire_forwarding(cluster: "Cluster", partition: "Partition",
+                           segment_id: int, move_ts: int):
+        """Process: drop the source-side pointer after old txns drain."""
+        txns = cluster.txns
+        while txns.oldest_active_begin_ts() <= move_ts:
+            yield cluster.env.timeout(DRAIN_POLL_SECONDS)
+        try:
+            partition.tree.retire_forwarding(segment_id)
+        except KeyError:
+            pass  # already retired (idempotent under races)
+
+    def migrate_fraction(self, cluster: "Cluster", table: str,
+                         source: "WorkerNode",
+                         targets: typing.Sequence["WorkerNode"],
+                         fraction: float,
+                         breakdown: CostBreakdown | None = None,
+                         cc: str = "mvcc", priority: int = 0):
+        """Generator: segment-aligned fraction move.
+
+        Chunks are processed from the top of the key space downwards so
+        each global-table split lands inside the remaining source range.
+        """
+        if not targets:
+            raise ValueError("need at least one target node")
+        reports: list[MoveReport] = []
+        for partition in list(source.partitions_for_table(table)):
+            chunks = segment_chunks(partition, fraction, len(targets))
+            assigned = list(zip(chunks, targets))
+            for chunk, target in reversed(assigned):
+                low = chunk[0][0].low
+                high = chunk[-1][0].high
+                report = yield from self.move_range(
+                    cluster, partition, source, target,
+                    KeyRange(low, high), breakdown, cc, priority,
+                )
+                reports.append(report)
+        return reports

@@ -1,0 +1,291 @@
+"""The master-side rebalancer: elasticity driver and helper protocol.
+
+Implements the paper's dynamic-reorganisation loop (Sect. 3.4): monitor
+utilisation, compare to thresholds, then scale out (power nodes on and
+repartition towards them) or scale in (quiesce nodes, pull their data
+back, power them off).  Also implements the Fig. 8 helper protocol:
+"we used the helper nodes for log shipping and provision of additional
+buffer space using rDMA".
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.schemes import MoveReport, PartitioningScheme
+from repro.cluster.policies import ThresholdPolicy
+from repro.metrics.breakdown import CostBreakdown
+from repro.storage.buffer import RemoteBufferExtension
+from repro.txn.wal import LogShippingSink
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.monitor import ClusterMonitor
+    from repro.cluster.worker import WorkerNode
+
+
+class HelperProtocol:
+    """Temporarily recruit standby nodes to absorb rebalancing load."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self._engagements: list[tuple["WorkerNode", "WorkerNode"]] = []
+
+    @property
+    def active(self) -> bool:
+        return bool(self._engagements)
+
+    def engage(self, stressed: typing.Sequence["WorkerNode"],
+               helper_ids: typing.Sequence[int],
+               remote_buffer_pages: int = 4096):
+        """Generator: boot helpers and attach them to stressed nodes.
+
+        Each stressed node gets one helper (round-robin) providing log
+        shipping and an rDMA buffer extension.
+        """
+        helpers: list["WorkerNode"] = []
+        for node_id in helper_ids:
+            worker = self.cluster.worker(node_id)
+            if not worker.is_active:
+                yield from self.cluster.power_on(node_id)
+            helpers.append(worker)
+        if not helpers:
+            return
+        for i, worker in enumerate(stressed):
+            helper = helpers[i % len(helpers)]
+            worker.wal.ship_to(LogShippingSink(
+                self.cluster.network, worker.port, helper.port,
+                helper.log_disk,
+            ))
+            worker.buffer.remote_extension = RemoteBufferExtension(
+                self.cluster.env, self.cluster.network,
+                worker.port, helper.port, remote_buffer_pages,
+            )
+            self._engagements.append((worker, helper))
+
+    def disengage(self):
+        """Generator: detach helpers, drain remote buffers, power off."""
+        helpers: set["WorkerNode"] = set()
+        for worker, helper in self._engagements:
+            worker.wal.ship_locally()
+            if worker.buffer.remote_extension is not None:
+                yield from worker.buffer.flush_all()
+                worker.buffer.remote_extension = None
+            helpers.add(helper)
+        self._engagements.clear()
+        for helper in helpers:
+            if helper.is_active and helper.disk_space.segment_count() == 0:
+                yield from self.cluster.power_off(helper.node_id)
+
+
+class Rebalancer:
+    """Executes repartitioning decisions on a cluster."""
+
+    def __init__(self, cluster: "Cluster", scheme: PartitioningScheme,
+                 monitor: "ClusterMonitor | None" = None,
+                 policy: ThresholdPolicy | None = None):
+        self.cluster = cluster
+        self.scheme = scheme
+        self.monitor = monitor or cluster.monitor
+        self.policy = policy or ThresholdPolicy()
+        self.helper_protocol = HelperProtocol(cluster)
+        self.reports: list[MoveReport] = []
+        self.scale_out_count = 0
+        self.scale_in_count = 0
+        self._running = False
+
+    # -- direct migration (experiment driver) --------------------------------
+
+    def scale_out(self, tables: typing.Sequence[str],
+                  source_ids: typing.Sequence[int],
+                  target_ids: typing.Sequence[int],
+                  fraction: float = 0.5,
+                  breakdown: CostBreakdown | None = None,
+                  cc: str = "mvcc",
+                  helpers: typing.Sequence[int] = (),
+                  priority: int = 0):
+        """Generator: the Fig. 6/8 protocol — power up targets (and
+        optional helpers), migrate ``fraction`` of each table from the
+        sources, then stand the helpers down."""
+        sources = [self.cluster.worker(i) for i in source_ids]
+        targets = []
+        for node_id in target_ids:
+            worker = self.cluster.worker(node_id)
+            if not worker.is_active:
+                yield from self.cluster.power_on(node_id)
+            targets.append(worker)
+        if helpers:
+            yield from self.helper_protocol.engage(sources, helpers)
+        try:
+            for table in tables:
+                for source in sources:
+                    reports = yield from self.scheme.migrate_fraction(
+                        self.cluster, table, source, targets, fraction,
+                        breakdown, cc, priority,
+                    )
+                    self.reports.extend(reports)
+        finally:
+            if helpers:
+                yield from self.helper_protocol.disengage()
+        self.scale_out_count += 1
+        return self.reports
+
+    def scale_in(self, tables: str | typing.Sequence[str], victim_id: int,
+                 receiver_id: int,
+                 breakdown: CostBreakdown | None = None,
+                 cc: str = "mvcc", priority: int = 0,
+                 power_off: bool = True):
+        """Generator: quiesce ``victim`` — move all its partitions of
+        ``tables`` to ``receiver`` and (optionally) power it off.
+
+        "a scale-in protocol is initiated, which quiesces the involved
+        nodes from query processing and shifts their data partitions to
+        nodes currently having sufficient processing capacity."
+        """
+        if isinstance(tables, str):
+            tables = [tables]
+        victim = self.cluster.worker(victim_id)
+        receiver = self.cluster.worker(receiver_id)
+        all_reports = []
+        for table in tables:
+            reports = yield from self.scheme.migrate_fraction(
+                self.cluster, table, victim, [receiver], 1.0,
+                breakdown, cc, priority,
+            )
+            all_reports.extend(reports)
+        self.reports.extend(all_reports)
+        if power_off and victim.disk_space.segment_count() == 0:
+            yield from self.cluster.power_off(victim_id)
+        self.scale_in_count += 1
+        return all_reports
+
+    # -- autonomous policy loop ------------------------------------------------
+
+    def run_policy_loop(self, tables: typing.Sequence[str],
+                        interval: float | None = None,
+                        cooldown_intervals: int = 6):
+        """Generator process: the paper's monitor->threshold->act loop.
+
+        Powers standby nodes on when a node runs hot, shifting half of
+        the hottest node's data to the newcomer; pulls data back and
+        powers nodes down when the cluster runs cold.  After acting, the
+        loop observes (but does not act) for ``cooldown_intervals``
+        rounds — repartitioning itself loads the cluster, and reacting
+        to that load would oscillate ("such events should happen on a
+        scale of minutes or hours, but not seconds", Sect. 2.3).
+        """
+        interval = interval or self.monitor.interval
+        self._running = True
+        cooldown = 0
+        while self._running:
+            yield self.cluster.env.timeout(interval)
+            samples = self.monitor.collect()
+            decision = self.policy.observe(samples)
+            if cooldown > 0:
+                cooldown -= 1
+                continue
+            if decision.wants_space_relief:
+                yield from self._handle_space_pressure(
+                    tables, decision.space_pressed_nodes
+                )
+                cooldown = cooldown_intervals
+            elif decision.wants_scale_out:
+                yield from self._handle_overload(tables, decision.overloaded_nodes)
+                cooldown = cooldown_intervals
+                for sample in samples:
+                    self.policy.reset(sample.node_id)
+            elif decision.wants_scale_in:
+                yield from self._handle_underload(tables, decision.underloaded_nodes)
+                cooldown = cooldown_intervals
+                for sample in samples:
+                    self.policy.reset(sample.node_id)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _handle_overload(self, tables, node_ids):
+        standby = self.cluster.standby_workers()
+        if not standby:
+            for node_id in node_ids:
+                self.policy.reset(node_id)
+            return
+        newcomer = standby[0]
+        hottest = node_ids[0]
+        yield from self.scale_out(
+            tables, [hottest], [newcomer.node_id], fraction=0.5
+        )
+        for node_id in node_ids:
+            self.policy.reset(node_id)
+
+    def _handle_space_pressure(self, tables, node_ids):
+        """Generator: "If a node goes out of storage space, DB
+        partitions are split up on nodes with free space" (Sect. 3.4).
+
+        Ships half the pressed node's data to whichever node (active
+        preferred, else standby powered on) has the most free capacity.
+        """
+        pressed = node_ids[0]
+
+        def free_bytes(worker):
+            return sum(
+                worker.disk_space.free_bytes(d)
+                for d in worker.disk_space.disks
+            )
+
+        candidates = [
+            w for w in self.cluster.workers
+            if w.node_id != pressed
+        ]
+        candidates.sort(key=free_bytes, reverse=True)
+        if not candidates:
+            return
+        target = candidates[0]
+        yield from self.scale_out(
+            tables, [pressed], [target.node_id], fraction=0.5
+        )
+
+    def _handle_underload(self, tables, node_ids):
+        # Never scale in the master; need at least two active nodes.
+        victims = [
+            n for n in node_ids
+            if n != self.cluster.master.node_id
+            and self.cluster.worker(n).is_active
+        ]
+        if not victims or self.cluster.active_node_count <= 1:
+            return
+        victim = victims[0]
+        victim_worker = self.cluster.worker(victim)
+        victim_bytes = sum(
+            victim_worker.disk_space.used_bytes(d)
+            for d in victim_worker.disk_space.disks
+        )
+
+        def fits(worker):
+            """Centralising must not push the receiver over the
+            storage bound — otherwise scale-in and the out-of-space
+            protocol would slosh data back and forth."""
+            capacity = sum(
+                d.spec.capacity_bytes for d in worker.disk_space.disks
+            )
+            used = sum(
+                worker.disk_space.used_bytes(d)
+                for d in worker.disk_space.disks
+            )
+            bound = self.policy.thresholds.storage_upper
+            return capacity and (used + victim_bytes) / capacity <= bound
+
+        receivers = [
+            w for w in self.cluster.active_workers()
+            if w.node_id != victim and fits(w)
+        ]
+        if not receivers:
+            self.policy.reset(victim)
+            return
+        receiver = min(receivers, key=lambda w: w.cpu.in_use)
+        yield from self.scale_in(
+            list(tables), victim, receiver.node_id, power_off=False
+        )
+        victim_worker = self.cluster.worker(victim)
+        if victim_worker.disk_space.segment_count() == 0:
+            yield from self.cluster.power_off(victim)
+        self.policy.reset(victim)

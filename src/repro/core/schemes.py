@@ -1,0 +1,165 @@
+"""Partitioning-scheme interface and shared selection utilities.
+
+A scheme answers one question: *how does a key range move from one node
+to another?*  Everything the paper contrasts — what is copied (raw
+segments vs. individual records), whether logical ownership transfers,
+which locks are taken, what the query layer learns — hangs off that
+answer.  The Fig. 6 experiment is literally a loop over the three
+implementations behind this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing
+
+from repro.index.partition_tree import KeyRange
+from repro.metrics.breakdown import CostBreakdown
+from repro.storage.segment import Segment
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.catalog import Partition
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.worker import WorkerNode
+
+
+@dataclasses.dataclass
+class MoveReport:
+    """What one range move cost."""
+
+    scheme: str
+    table: str
+    source_node: int
+    target_node: int
+    records_moved: int = 0
+    segments_moved: int = 0
+    bytes_copied: int = 0
+    conflicts: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def ordered_segments(partition: "Partition") -> list[tuple[KeyRange, Segment]]:
+    """The partition's segments in ascending key-range order."""
+    entries = [
+        (key_range, target)
+        for _sid, key_range, target in partition.tree.entries()
+        if isinstance(target, Segment)
+    ]
+    entries.sort(key=lambda e: (e[0].low is not None, e[0].low))
+    return entries
+
+
+def select_upper_segments(partition: "Partition",
+                          fraction: float) -> list[tuple[KeyRange, Segment]]:
+    """Segments from the top of the key space holding ~``fraction`` of
+    the partition's records — the unit of movement for the
+    segment-granular schemes."""
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    entries = ordered_segments(partition)
+    total = sum(seg.record_count for _r, seg in entries)
+    goal = total * fraction
+    picked: list[tuple[KeyRange, Segment]] = []
+    count = 0
+    for key_range, segment in reversed(entries):
+        if count >= goal:
+            break
+        picked.append((key_range, segment))
+        count += segment.record_count
+    picked.reverse()
+    return picked
+
+
+def split_key_at_fraction(partition: "Partition", fraction: float):
+    """The key below which ~``(1 - fraction)`` of the records live —
+    the range [key, +inf) holds the top ``fraction``.
+
+    Returns None when the partition is empty.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    entries = ordered_segments(partition)
+    total = sum(seg.record_count for _r, seg in entries)
+    if total == 0:
+        return None
+    skip = int(total * (1 - fraction))
+    seen = 0
+    for _key_range, segment in entries:
+        if seen + segment.record_count <= skip:
+            seen += segment.record_count
+            continue
+        for key, _chain in segment.index_scan():
+            if seen >= skip:
+                return key
+            seen += 1
+    return None
+
+
+def partition_ranges(keys: typing.Sequence, parts: int) -> list[typing.Any]:
+    """Evenly chop a sorted key list into ``parts`` boundary keys."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if not keys:
+        return []
+    step = max(1, len(keys) // parts)
+    return [keys[i] for i in range(0, len(keys), step)][:parts]
+
+
+def segment_chunks(partition: "Partition", fraction: float,
+                   n_targets: int) -> list[list[tuple[KeyRange, Segment]]]:
+    """Chop the top-``fraction`` segments into ``n_targets`` contiguous
+    chunks (ascending key order).  Chunks are segment-aligned so the
+    ownership-transferring schemes can split the global partition table
+    exactly at segment boundaries."""
+    selected = select_upper_segments(partition, fraction)
+    if not selected:
+        return []
+    n_targets = min(n_targets, len(selected))
+    base = len(selected) // n_targets
+    extra = len(selected) % n_targets
+    chunks = []
+    start = 0
+    for i in range(n_targets):
+        size = base + (1 if i < extra else 0)
+        chunks.append(selected[start:start + size])
+        start += size
+    return [c for c in chunks if c]
+
+
+class PartitioningScheme(abc.ABC):
+    """How a key range moves between nodes."""
+
+    #: Short identifier used in reports and figures.
+    name: str = "abstract"
+    #: Whether the receiving node takes over query processing for the
+    #: moved data (false only for physical partitioning).
+    transfers_ownership: bool = True
+
+    @abc.abstractmethod
+    def move_range(self, cluster: "Cluster", partition: "Partition",
+                   source: "WorkerNode", target: "WorkerNode",
+                   key_range: KeyRange,
+                   breakdown: CostBreakdown | None = None,
+                   cc: str = "mvcc", priority: int = 0):
+        """Generator: move ``key_range`` of ``partition`` from
+        ``source`` to ``target``; returns a :class:`MoveReport`."""
+
+    @abc.abstractmethod
+    def migrate_fraction(self, cluster: "Cluster", table: str,
+                         source: "WorkerNode",
+                         targets: typing.Sequence["WorkerNode"],
+                         fraction: float,
+                         breakdown: CostBreakdown | None = None,
+                         cc: str = "mvcc", priority: int = 0):
+        """Generator: move the top ``fraction`` of each of ``source``'s
+        partitions of ``table``, split across ``targets``.
+
+        This is the Fig. 6 driver ("migrate 50% of the records to two
+        additional nodes").  Returns the list of move reports.
+        """

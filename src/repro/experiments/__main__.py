@@ -1,0 +1,147 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments power        # Sect. 3.1 power table
+    python -m repro.experiments fig1         # operator placement
+    python -m repro.experiments fig2         # offloading crossover
+    python -m repro.experiments fig3         # MVCC vs MGL-RX
+    python -m repro.experiments fig6         # all three schemes
+    python -m repro.experiments fig6 --scheme physiological
+    python -m repro.experiments fig7         # runtime breakdown
+    python -m repro.experiments fig8         # helper nodes
+    python -m repro.experiments scale-in     # extension: scale-in protocol
+    python -m repro.experiments all          # everything (long)
+
+``--quick`` (default) uses reduced parameters; ``--full`` the defaults
+documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _fig6_config(quick: bool):
+    from repro.experiments.fig6_schemes import Fig6Config, quick_fig6_config
+
+    return quick_fig6_config() if quick else Fig6Config()
+
+
+def run_power(args) -> str:
+    from repro.experiments import run_power_validation
+
+    return run_power_validation().to_table()
+
+
+def run_fig1_cmd(args) -> str:
+    from repro.experiments import run_fig1
+
+    rows = 20_000 if args.quick else 40_000
+    return run_fig1(rows=rows).to_table()
+
+
+def run_fig2_cmd(args) -> str:
+    from repro.experiments import run_fig2
+
+    if args.quick:
+        result = run_fig2(rows=800, concurrency_levels=(1, 10, 100),
+                          window=15.0)
+    else:
+        result = run_fig2()
+    return result.to_table()
+
+
+def run_fig3_cmd(args) -> str:
+    from repro.experiments import run_fig3
+    from repro.experiments.fig3_mvcc import Fig3Config
+
+    config = Fig3Config() if not args.quick else Fig3Config(
+        rows=1200, clients=10, update_ratios=(0.0, 0.5, 1.0),
+        max_window=400.0,
+    )
+    return run_fig3(config).to_table()
+
+
+def run_fig6_cmd(args) -> str:
+    from repro.experiments import run_fig6
+
+    config = _fig6_config(args.quick)
+    schemes = [args.scheme] if args.scheme else [
+        "physical", "logical", "physiological",
+    ]
+    parts = []
+    for scheme in schemes:
+        result = run_fig6(scheme, config)
+        parts.append(result.to_table())
+        parts.append(
+            f"[{scheme}] migration {result.migration_seconds:.0f}s, "
+            f"moved {result.bytes_moved / 2**20:.0f} MiB "
+            f"({result.records_moved} records)"
+        )
+    return "\n\n".join(parts)
+
+
+def run_fig7_cmd(args) -> str:
+    from repro.experiments import run_fig7
+
+    config = _fig6_config(args.quick) if args.quick else None
+    return run_fig7(config).to_table()
+
+
+def run_fig8_cmd(args) -> str:
+    from repro.experiments import run_fig8
+
+    config = _fig6_config(args.quick) if args.quick else None
+    return run_fig8(config).to_table()
+
+
+def run_scale_in_cmd(args) -> str:
+    from repro.experiments import run_scale_in
+
+    return run_scale_in().to_table()
+
+
+COMMANDS = {
+    "power": run_power,
+    "fig1": run_fig1_cmd,
+    "fig2": run_fig2_cmd,
+    "fig3": run_fig3_cmd,
+    "fig6": run_fig6_cmd,
+    "fig7": run_fig7_cmd,
+    "fig8": run_fig8_cmd,
+    "scale-in": run_scale_in_cmd,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        choices=list(COMMANDS) + ["all"],
+                        help="which table/figure to regenerate")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--quick", dest="quick", action="store_true",
+                       default=True, help="reduced parameters (default)")
+    scale.add_argument("--full", dest="quick", action="store_false",
+                       help="paper-closer parameters (slow)")
+    parser.add_argument("--scheme",
+                        choices=["physical", "logical", "physiological"],
+                        help="fig6 only: run a single scheme")
+    args = parser.parse_args(argv)
+
+    chosen = list(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in chosen:
+        start = time.time()
+        print(f"=== {name} " + "=" * (60 - len(name)))
+        print(COMMANDS[name](args))
+        print(f"--- {name} finished in {time.time() - start:.1f}s wall\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Fig. 3 — "MVCC vs MGL-RX: performance and storage space consumption
+of workloads with different amount of updates while moving records".
+
+"We have compared the performance of MGL-RX with MVCC, while moving 50%
+of the records to another partition ...  The experiment shows that MVCC
+can increase transaction throughput between 15% (for read-only
+workloads) and almost 90% (for pure writer workloads), while the
+affected partition is moved.  Storage requirements for MVCC are
+obviously higher, as multiple versions of records have to be kept."
+(Sect. 3.5)
+
+X-axis: percentage of update transactions.  Bars: transactions per
+minute under each CC scheme.  Lines: storage space relative to the
+pre-move baseline (peak during the move).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.core import LogicalPartitioning
+from repro.cluster.cluster import Cluster
+from repro.hardware.disk import HDD_SPEC
+from repro.metrics.report import render_table
+from repro.sim.engine import Environment
+from repro.storage.record import Column, Schema
+from repro.txn import TransactionAborted
+from repro.txn.locks import LockTimeoutError
+from repro.workload.tpcc_gen import fast_insert
+
+
+@dataclasses.dataclass
+class Fig3Config:
+    """I/O-heavy sizing: blob rows on HDDs with a small buffer pool, so
+    the mover's lock spans real disk time (the paper's regime — their
+    partition move took minutes on spinning disks)."""
+
+    rows: int = 2000
+    payload_bytes: int = 8 * 1024
+    #: The table is range-partitioned; the mover relocates the upper
+    #: half of the partitions one at a time, so under MGL only one
+    #: partition's writers are blocked at any moment.
+    partitions: int = 8
+    clients: int = 12
+    client_interval: float = 0.05
+    update_ratios: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+    lock_timeout: float = 2.0
+    page_bytes: int = 16 * 1024
+    segment_max_pages: int = 64
+    buffer_pages: int = 256
+    seed: int = 11
+    vacuum_interval: float = 6.0
+    #: Mover pacing: models the paper's long-running reorganisation of
+    #: a far larger database (see LogicalPartitioning.pace_delay).
+    move_pace_delay: float = 3.0
+    #: Cap on one cell's duration if the move drags (simulated seconds).
+    max_window: float = 600.0
+
+    def schema(self) -> Schema:
+        return Schema(
+            [Column("id"), Column("val", "blob", width=self.payload_bytes)],
+            key=("id",),
+        )
+
+
+@dataclasses.dataclass
+class Fig3Result:
+    config: Fig3Config
+    tpm: dict[str, dict[float, float]]          # cc -> ratio -> txn/minute
+    storage_pct: dict[str, dict[float, float]]  # cc -> ratio -> peak %
+    move_seconds: dict[str, dict[float, float]]
+
+    def speedup(self, ratio: float) -> float:
+        """MVCC throughput gain over locking at one update ratio."""
+        return self.tpm["mvcc"][ratio] / self.tpm["locking"][ratio] - 1.0
+
+    def to_table(self) -> str:
+        rows = []
+        for ratio in self.config.update_ratios:
+            rows.append([
+                f"{ratio:.0%}",
+                round(self.tpm["mvcc"][ratio], 1),
+                round(self.tpm["locking"][ratio], 1),
+                f"{self.speedup(ratio):+.0%}",
+                round(self.storage_pct["mvcc"][ratio], 1),
+                round(self.storage_pct["locking"][ratio], 1),
+            ])
+        return render_table(
+            ["updates", "MVCC TA/min", "MGL TA/min", "MVCC gain",
+             "MVCC storage %", "MGL storage %"],
+            rows,
+            title="Fig. 3 — MVCC vs MGL-RX while moving 50% of records",
+        )
+
+
+def _build(config: Fig3Config):
+    from repro.index.partition_tree import KeyRange
+
+    env = Environment()
+    cluster = Cluster(
+        env, node_count=3, initially_active=2,
+        disk_specs=(HDD_SPEC, HDD_SPEC),
+        buffer_pages_per_node=config.buffer_pages,
+        segment_max_pages=config.segment_max_pages,
+        page_bytes=config.page_bytes,
+        lock_timeout=config.lock_timeout,
+    )
+    owner = cluster.workers[0]
+    per_part = config.rows // config.partitions
+    assignments = []
+    for i in range(config.partitions):
+        low = None if i == 0 else i * per_part
+        high = None if i == config.partitions - 1 else (i + 1) * per_part
+        assignments.append((KeyRange(low, high), owner))
+    partitions = cluster.master.create_partitioned_table(
+        "acct", config.schema(), assignments
+    )
+    for i in range(config.rows):
+        index = min(i // per_part, config.partitions - 1)
+        fast_insert(owner, partitions[index], (i, ""))
+    return env, cluster, partitions
+
+
+def _table_bytes(cluster) -> int:
+    total = 0
+    for worker in cluster.workers:
+        for partition in worker.partitions_for_table("acct"):
+            total += partition.used_bytes
+    return total
+
+
+def _run_cell(config: Fig3Config, cc: str, update_ratio: float):
+    env, cluster, partitions = _build(config)
+    rng = random.Random(config.seed)
+    master = cluster.master
+    baseline_bytes = _table_bytes(cluster)
+    peak_bytes = [baseline_bytes]
+    completed = [0]
+    move_done = env.event()
+
+    def client():
+        while not move_done.triggered:
+            txn = cluster.txns.begin()
+            key = rng.randrange(config.rows)
+            try:
+                if rng.random() < update_ratio:
+                    row = yield from master.read("acct", key, txn, cc=cc)
+                    if row is not None:
+                        yield from master.update(
+                            "acct", key, (key, ""), txn, cc=cc
+                        )
+                else:
+                    yield from master.read("acct", key, txn, cc=cc)
+                yield from cluster.txns.commit(
+                    txn, immediate_gc=(cc == "locking")
+                )
+                completed[0] += 1
+            except (TransactionAborted, LockTimeoutError, LookupError):
+                if txn.state.value == "active":
+                    cluster.txns.abort(txn)
+                yield env.timeout(0.005)
+            yield env.timeout(config.client_interval)
+
+    def storage_sampler():
+        while not move_done.triggered:
+            peak_bytes[0] = max(peak_bytes[0], _table_bytes(cluster))
+            yield env.timeout(1.0)
+
+    def mover():
+        """Relocate the upper half of the partitions, one at a time —
+        '50% of the records moved to another partition'."""
+        scheme = LogicalPartitioning(pace_delay=config.move_pace_delay)
+        yield from cluster.power_on(2)
+        upper_half = partitions[len(partitions) // 2:]
+        for partition in upper_half:
+            hull = cluster.master.gpt.range_of(
+                "acct", partition.partition_id
+            )
+            yield from scheme.move_range(
+                cluster, partition, cluster.workers[0], cluster.worker(2),
+                hull, cc=cc,
+            )
+        if not move_done.triggered:
+            move_done.succeed()
+
+    def watchdog():
+        yield env.timeout(config.max_window)
+        if not move_done.triggered:
+            move_done.succeed()
+
+    from repro.workload import start_vacuum_daemon
+
+    start_vacuum_daemon(cluster, interval=config.vacuum_interval)
+    for _ in range(config.clients):
+        env.process(client())
+    env.process(storage_sampler())
+    env.process(mover())
+    env.process(watchdog())
+    start = env.now
+    env.run(until=move_done)
+    elapsed = env.now - start
+    # Let in-flight clients wind down without advancing the metrics.
+    tpm = completed[0] / elapsed * 60.0
+    storage_pct = peak_bytes[0] / baseline_bytes * 100.0
+    return tpm, storage_pct, elapsed
+
+
+def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
+    config = config or Fig3Config()
+    tpm: dict[str, dict[float, float]] = {"mvcc": {}, "locking": {}}
+    storage: dict[str, dict[float, float]] = {"mvcc": {}, "locking": {}}
+    seconds: dict[str, dict[float, float]] = {"mvcc": {}, "locking": {}}
+    for cc in ("mvcc", "locking"):
+        for ratio in config.update_ratios:
+            cell_tpm, cell_storage, cell_seconds = _run_cell(config, cc, ratio)
+            tpm[cc][ratio] = cell_tpm
+            storage[cc][ratio] = cell_storage
+            seconds[cc][ratio] = cell_seconds
+    return Fig3Result(config=config, tpm=tpm, storage_pct=storage,
+                      move_seconds=seconds)

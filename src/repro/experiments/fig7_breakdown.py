@@ -1,0 +1,88 @@
+"""Fig. 7 — "Impact factors on query runtime when rebalancing".
+
+A per-query time breakdown (logging, latching, locking, network I/O,
+disk I/O, other) in three regimes:
+
+* normal operation,
+* while rebalancing (plain physiological),
+* rebalancing improved (physiological + helper nodes, i.e. the Fig. 8
+  configuration: log shipping + rDMA buffer).
+
+"From the increase in runtimes, we can deduce that critical sections
+are disk I/O and locking ...  the time spent for network communication
+remains unchanged ...  logging takes significantly longer when
+rebalancing." (Sect. 5.2)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.fig6_schemes import Fig6Config, run_fig6
+from repro.metrics.breakdown import COMPONENTS, CostBreakdown
+from repro.metrics.report import render_table
+
+
+@dataclasses.dataclass
+class Fig7Result:
+    normal: CostBreakdown
+    rebalancing: CostBreakdown
+    improved: CostBreakdown
+    mean_response_ms: dict[str, float]
+
+    def _row(self, label: str, breakdown: CostBreakdown,
+             response_ms: float) -> list:
+        accounted_ms = breakdown.total * 1000.0
+        other_ms = max(response_ms - accounted_ms, 0.0) + breakdown.other * 1000
+        cells = [label]
+        for component in COMPONENTS:
+            if component == "other":
+                cells.append(round(other_ms, 2))
+            else:
+                cells.append(round(getattr(breakdown, component) * 1000, 2))
+        cells.append(round(response_ms, 2))
+        return cells
+
+    def to_table(self) -> str:
+        rows = [
+            self._row("normal operation", self.normal,
+                      self.mean_response_ms["normal"]),
+            self._row("while rebalancing", self.rebalancing,
+                      self.mean_response_ms["rebalancing"]),
+            self._row("rebalancing improved", self.improved,
+                      self.mean_response_ms["improved"]),
+        ]
+        headers = ["regime"] + [f"{c} ms" for c in COMPONENTS] + ["total ms"]
+        return render_table(
+            headers, rows,
+            title="Fig. 7 — query runtime breakdown when rebalancing",
+        )
+
+
+def run_fig7(config: Fig6Config | None = None,
+             helper_nodes: tuple[int, ...] = (4, 5)) -> Fig7Result:
+    base = config or Fig6Config()
+    plain = run_fig6("physiological", base)
+    helped = run_fig6(
+        "physiological",
+        dataclasses.replace(base, helper_nodes=helper_nodes),
+    )
+
+    def window_mean_response(result, lo, hi):
+        value = result.mean_between(result.response_ms, lo, hi)
+        return value if value is not None else 0.0
+
+    return Fig7Result(
+        normal=plain.breakdown_normal,
+        rebalancing=plain.breakdown_rebalancing,
+        improved=helped.breakdown_rebalancing,
+        mean_response_ms={
+            "normal": window_mean_response(plain, -base.warmup, 0.0),
+            "rebalancing": window_mean_response(
+                plain, 0.0, plain.migration_seconds
+            ),
+            "improved": window_mean_response(
+                helped, 0.0, helped.migration_seconds
+            ),
+        },
+    )

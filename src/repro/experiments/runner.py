@@ -1,0 +1,67 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import Environment
+from repro.storage.record import Column, Schema
+
+
+@dataclasses.dataclass
+class MicroTable:
+    """A simple single-table fixture for the operator micro-benchmarks."""
+
+    cluster: Cluster
+    partition: typing.Any
+    rows: int
+    schema: Schema
+
+
+MICRO_SCHEMA = Schema(
+    [Column("id"), Column("grp"), Column("val", "float"),
+     Column("pad", "str", width=160)],
+    key=("id",),
+)
+
+#: Roughly 200 B per record on the wire, matching the Fig. 1 derivation.
+MICRO_PAD = "x" * 160
+
+
+def build_micro_cluster(rows: int, node_count: int = 3,
+                        active: int = 3,
+                        buffer_pages: int | None = None) -> MicroTable:
+    """A cluster with one pre-loaded, buffer-warm table on node 0.
+
+    The table is loaded fast-path (not measured) and sized so the whole
+    table fits in the buffer pool — Fig. 1/2 measure operator and
+    network costs, not disk I/O.
+    """
+    env = Environment()
+    if buffer_pages is None:
+        buffer_pages = max(1024, rows // 16)
+    cluster = Cluster(
+        env, node_count=node_count, initially_active=active,
+        buffer_pages_per_node=buffer_pages, segment_max_pages=2048,
+    )
+    owner = cluster.workers[0]
+    partition = cluster.master.create_table("micro", MICRO_SCHEMA, owner=owner)
+
+    from repro.workload.tpcc_gen import fast_insert
+
+    for i in range(rows):
+        fast_insert(owner, partition, (i, i % 7, float(i), MICRO_PAD))
+    return MicroTable(cluster, partition, rows, MICRO_SCHEMA)
+
+
+def warm_buffer(table: MicroTable) -> None:
+    """Pre-fault every page of the table into the owner's buffer pool."""
+    from repro.engine import ExecContext, TableScan
+
+    env = table.cluster.env
+    worker = table.cluster.workers[0]
+    ctx = ExecContext(env=env, vector_size=512)
+    scan = TableScan(ctx, worker, table.partition)
+    env.run(until=env.process(scan.drain()))

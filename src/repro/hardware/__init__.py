@@ -1,0 +1,31 @@
+"""Simulated cluster hardware.
+
+Models the paper's testbed (Sect. 3.1): n identical Amdahl-balanced
+wimpy nodes (Intel Atom D510, 2 GB DRAM, one HDD + two SSDs each)
+joined by a Gigabit Ethernet switch.  Every component is a queued
+resource on the simulation kernel, and every calibration constant lives
+in :mod:`repro.hardware.specs` with a pointer to the paper sentence it
+came from.
+"""
+
+from repro.hardware.cpu import Cpu
+from repro.hardware.disk import Disk, DiskSpec, HDD_SPEC, SSD_SPEC
+from repro.hardware.network import Network, NetworkPort
+from repro.hardware.node import NodeMachine, PowerState
+from repro.hardware.power import ClusterEnergyMeter, NodePowerModel
+from repro.hardware import specs
+
+__all__ = [
+    "ClusterEnergyMeter",
+    "Cpu",
+    "Disk",
+    "DiskSpec",
+    "HDD_SPEC",
+    "SSD_SPEC",
+    "Network",
+    "NetworkPort",
+    "NodeMachine",
+    "NodePowerModel",
+    "PowerState",
+    "specs",
+]

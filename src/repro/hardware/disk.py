@@ -1,0 +1,113 @@
+"""Disk models: HDD and SSD as single-actuator queued resources.
+
+A request costs one access time (seek + rotational delay for HDDs,
+controller latency for SSDs) plus transfer time at the device's
+sequential bandwidth.  Sequential follow-on requests can skip the
+access penalty, which is what makes segment-granular migration
+(physical / physiological partitioning) "almost raw disk speed"
+compared to logical partitioning's scattered record reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware import specs
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskSpec:
+    """Static performance/energy envelope of a storage device."""
+
+    kind: str
+    access_seconds: float
+    bandwidth_bytes_per_s: float
+    capacity_bytes: int
+    idle_watts: float
+    active_watts: float
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth_bytes_per_s
+
+
+HDD_SPEC = DiskSpec(
+    kind="hdd",
+    access_seconds=specs.HDD_ACCESS_SECONDS,
+    bandwidth_bytes_per_s=specs.HDD_BANDWIDTH_BYTES_PER_S,
+    capacity_bytes=specs.HDD_CAPACITY_BYTES,
+    idle_watts=specs.HDD_IDLE_WATTS,
+    active_watts=specs.HDD_ACTIVE_WATTS,
+)
+
+SSD_SPEC = DiskSpec(
+    kind="ssd",
+    access_seconds=specs.SSD_ACCESS_SECONDS,
+    bandwidth_bytes_per_s=specs.SSD_BANDWIDTH_BYTES_PER_S,
+    capacity_bytes=specs.SSD_CAPACITY_BYTES,
+    idle_watts=specs.SSD_IDLE_WATTS,
+    active_watts=specs.SSD_ACTIVE_WATTS,
+)
+
+
+class Disk:
+    """One storage device attached to a node."""
+
+    def __init__(self, env: Environment, spec: DiskSpec, name: str = "disk"):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self._resource = Resource(env, capacity=1, name=name)
+        #: Operation counters for the monitor (IOPS bands, Sect. 3.4).
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, nbytes: int, sequential: bool = False, priority: int = 0):
+        """Generator: perform a read of ``nbytes``.
+
+        ``sequential=True`` skips the access penalty — used for the
+        tail pages of a batched segment read.
+        """
+        yield from self._io(nbytes, sequential, priority)
+        self.reads += 1
+        self.bytes_read += nbytes
+
+    def write(self, nbytes: int, sequential: bool = False, priority: int = 0):
+        """Generator: perform a write of ``nbytes``."""
+        yield from self._io(nbytes, sequential, priority)
+        self.writes += 1
+        self.bytes_written += nbytes
+
+    def _io(self, nbytes: int, sequential: bool, priority: int):
+        if nbytes < 0:
+            raise ValueError(f"negative I/O size: {nbytes}")
+        duration = self.spec.transfer_seconds(nbytes)
+        if not sequential:
+            duration += self.spec.access_seconds
+        yield from self._resource.serve(duration, priority=priority)
+
+    def read_page(self, priority: int = 0):
+        """Generator: random read of one page."""
+        yield from self.read(specs.PAGE_BYTES, sequential=False, priority=priority)
+
+    def write_page(self, priority: int = 0):
+        """Generator: random write of one page."""
+        yield from self.write(specs.PAGE_BYTES, sequential=False, priority=priority)
+
+    @property
+    def tracker(self):
+        return self._resource.tracker
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    @property
+    def io_count(self) -> int:
+        return self.reads + self.writes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Disk {self.name} ({self.spec.kind})>"

@@ -1,0 +1,98 @@
+"""Gigabit-Ethernet model: full-duplex ports on a non-blocking switch.
+
+Each node owns a :class:`NetworkPort` with independent transmit and
+receive lanes at GbE line rate.  A transfer occupies the sender's tx
+lane and the receiver's rx lane for the whole wire time, so fan-in
+(two senders shipping segments to one new node) correctly bottlenecks
+at the receiver's port — the effect behind the paper's observation that
+the intermediate network "may also induce a bandwidth bottleneck".
+
+Deadlock freedom: a transfer acquires its two lane resources strictly
+in ascending global lane id, the classic total-order acquisition rule.
+"""
+
+from __future__ import annotations
+
+from repro.hardware import specs
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+class NetworkPort:
+    """One node's full-duplex GbE port (a tx lane and an rx lane)."""
+
+    _next_lane_id = 0
+
+    def __init__(self, env: Environment, name: str,
+                 bandwidth_bytes_per_s: float = specs.NET_BANDWIDTH_BYTES_PER_S):
+        self.env = env
+        self.name = name
+        self.bandwidth = bandwidth_bytes_per_s
+        self.tx = Resource(env, capacity=1, name=f"{name}.tx")
+        self.rx = Resource(env, capacity=1, name=f"{name}.rx")
+        self.tx_lane_id = NetworkPort._claim_lane_id()
+        self.rx_lane_id = NetworkPort._claim_lane_id()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @classmethod
+    def _claim_lane_id(cls) -> int:
+        cls._next_lane_id += 1
+        return cls._next_lane_id
+
+
+class Network:
+    """The cluster interconnect: a non-blocking switch joining ports."""
+
+    def __init__(self, env: Environment,
+                 message_latency: float = specs.NET_MESSAGE_LATENCY_SECONDS,
+                 rpc_latency: float = specs.NET_RPC_LATENCY_SECONDS):
+        self.env = env
+        self.message_latency = message_latency
+        self.rpc_latency = rpc_latency
+        self.transfer_count = 0
+        self.bytes_total = 0
+
+    def transfer(self, src: NetworkPort, dst: NetworkPort, nbytes: int,
+                 priority: int = 0):
+        """Generator: move ``nbytes`` from ``src`` to ``dst``.
+
+        Completes after one-way latency plus wire time at the slower of
+        the two ports.  A loopback transfer (src is dst) costs nothing:
+        "all records are transferred via main memory" (Sect. 3.3).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if src is dst:
+            return
+        wire_time = nbytes / min(src.bandwidth, dst.bandwidth)
+        duration = self.message_latency + wire_time
+
+        # Total-order lane acquisition (see module docstring).
+        lanes = sorted(
+            [(src.tx_lane_id, src.tx), (dst.rx_lane_id, dst.rx)],
+            key=lambda pair: pair[0],
+        )
+        first_req = lanes[0][1].request(priority)
+        yield first_req
+        second_req = lanes[1][1].request(priority)
+        yield second_req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            lanes[0][1].release(first_req)
+            lanes[1][1].release(second_req)
+
+        src.bytes_sent += nbytes
+        dst.bytes_received += nbytes
+        self.transfer_count += 1
+        self.bytes_total += nbytes
+
+    def rpc_delay(self):
+        """Generator: one software-stack round-trip latency.
+
+        Charged per remote next() call on top of payload transfer time;
+        this is the cost that single-record volcano iteration cannot
+        amortise (paper Fig. 1, third bar).
+        """
+        yield self.env.timeout(self.rpc_latency)

@@ -1,0 +1,211 @@
+"""A B+-tree with range scans.
+
+Used in three places, matching the paper's Fig. 4 / Sect. 4.3 layering:
+
+* the per-segment primary-key index (one root per segment, so moving a
+  segment never invalidates it),
+* each partition's *top index* over its segments' key ranges,
+* secondary indexes on partitions.
+
+Keys may be any totally-ordered values (ints, strings, tuples of
+those); values are arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing
+
+K = typing.TypeVar("K")
+V = typing.TypeVar("V")
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: list = []
+        self.children: list["_Node"] = []  # internal nodes only
+        self.values: list = []  # leaves only
+        self.next_leaf: "_Node | None" = None  # leaves only
+
+
+class BPlusTree(typing.Generic[K, V]):
+    """An order-``order`` B+-tree (max ``order`` keys per node)."""
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise ValueError(f"tree order must be >= 4, got {order}")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 = a single leaf)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    # -- lookup ----------------------------------------------------------
+
+    def _find_leaf(self, key: K) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def __contains__(self, key: K) -> bool:
+        sentinel = object()
+        return self.get(key, default=typing.cast(V, sentinel)) is not sentinel
+
+    def min_key(self) -> K:
+        if not self._size:
+            raise KeyError("tree is empty")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> K:
+        if not self._size:
+            raise KeyError("tree is empty")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert or overwrite ``key``."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep_key, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert(self, node: _Node, key: K, value: V):
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+        else:
+            idx = bisect.bisect_right(node.keys, key)
+            split = self._insert(node.children[idx], key, value)
+            if split is not None:
+                sep_key, right = split
+                node.keys.insert(idx, sep_key)
+                node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right
+            sep_key = right.keys[0]
+        else:
+            sep_key = node.keys[mid]
+            right.keys = node.keys[mid + 1:]
+            right.children = node.children[mid + 1:]
+            node.keys = node.keys[:mid]
+            node.children = node.children[:mid + 1]
+        return sep_key, right
+
+    def delete(self, key: K) -> bool:
+        """Remove ``key``; returns whether it was present.
+
+        Uses lazy deletion (no rebalancing): leaves may underflow but
+        search/scan correctness is unaffected, which is the classic
+        trade-off for write-heavy workloads.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+            self._size -= 1
+            return True
+        return False
+
+    # -- scans ----------------------------------------------------------
+
+    def items(self, lo: K | None = None, hi: K | None = None,
+              hi_inclusive: bool = False) -> typing.Iterator[tuple[K, V]]:
+        """Yield ``(key, value)`` in key order over ``[lo, hi)``
+        (or ``[lo, hi]`` with ``hi_inclusive``)."""
+        if self._size == 0:
+            return
+        if lo is None:
+            node = self._root
+            while not node.is_leaf:
+                node = node.children[0]
+            idx = 0
+        else:
+            node = self._find_leaf(lo)
+            idx = bisect.bisect_left(node.keys, lo)
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if hi is not None:
+                    if hi_inclusive:
+                        if key > hi:
+                            return
+                    elif key >= hi:
+                        return
+                yield key, node.values[idx]
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    def keys(self) -> typing.Iterator[K]:
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> typing.Iterator[V]:
+        for _key, value in self.items():
+            yield value
+
+    def first_at_or_after(self, key: K) -> tuple[K, V] | None:
+        """Smallest entry with key >= ``key``, or None."""
+        for item in self.items(lo=key):
+            return item
+        return None
+
+    @classmethod
+    def bulk_load(cls, items: typing.Iterable[tuple[K, V]],
+                  order: int = 64) -> "BPlusTree[K, V]":
+        """Build a tree from (not necessarily sorted) items."""
+        tree = cls(order=order)
+        for key, value in sorted(items, key=lambda kv: kv[0]):
+            tree.insert(key, value)
+        return tree

@@ -1,0 +1,72 @@
+"""Secondary indexes.
+
+"Partitions are by default index-organized w.r.t. the primary key with
+support for additional, secondary indexes.  In WattDB, indexes are
+realized using B*-trees and span only one partition at a time"
+(Sect. 4) — so a secondary index lives inside one partition and moves
+(is rebuilt) with it.
+
+MVCC discipline: the index stores ``(secondary key, primary key)``
+pairs and never answers queries by itself — a lookup yields candidate
+primary keys that the caller re-reads through the normal visibility
+path, filtering out stale entries (deleted rows, rows whose indexed
+column changed).  Entries are append-only; vacuumed rows' entries are
+dropped lazily on traversal.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.index.btree import BPlusTree
+from repro.storage.record import Schema
+
+
+def _as_tuple(key: typing.Any) -> tuple:
+    return key if isinstance(key, tuple) else (key,)
+
+
+class SecondaryIndex:
+    """A non-unique secondary index over one partition."""
+
+    def __init__(self, name: str, key_columns: typing.Sequence[str],
+                 schema: Schema):
+        if not key_columns:
+            raise ValueError("secondary index needs at least one column")
+        self.name = name
+        self.key_columns = tuple(key_columns)
+        self._indexes = tuple(schema.column_index(c) for c in key_columns)
+        self._pk_of = schema.key_of
+        #: (secondary tuple, primary tuple) -> None
+        self.tree: BPlusTree = BPlusTree()
+
+    def secondary_key_of(self, values: typing.Sequence) -> tuple:
+        return tuple(values[i] for i in self._indexes)
+
+    def add(self, values: typing.Sequence) -> None:
+        """Register one row version's (secondary, primary) pairing."""
+        entry = (self.secondary_key_of(values), _as_tuple(self._pk_of(values)))
+        self.tree.insert(entry, None)
+
+    def remove(self, values: typing.Sequence) -> bool:
+        entry = (self.secondary_key_of(values), _as_tuple(self._pk_of(values)))
+        return self.tree.delete(entry)
+
+    def candidates(self, secondary_key: typing.Any) -> list:
+        """Primary keys that *may* match ``secondary_key`` (callers must
+        re-validate through the visibility path)."""
+        sec = _as_tuple(secondary_key) if not isinstance(
+            secondary_key, tuple) else secondary_key
+        out = []
+        for (entry_sec, entry_pk), _none in self.tree.items(lo=(sec,)):
+            if entry_sec != sec:
+                break
+            pk = entry_pk[0] if len(entry_pk) == 1 else entry_pk
+            out.append(pk)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SecondaryIndex {self.name} on {self.key_columns}>"

@@ -1,0 +1,13 @@
+"""Metrics: cost breakdowns, time series, and report rendering."""
+
+from repro.metrics.breakdown import CostBreakdown
+from repro.metrics.series import TimeSeries, percentile
+from repro.metrics.report import render_series_table, render_table
+
+__all__ = [
+    "CostBreakdown",
+    "TimeSeries",
+    "percentile",
+    "render_series_table",
+    "render_table",
+]

@@ -1,0 +1,52 @@
+"""CSV export of experiment series — for plotting the figures with any
+external tool (the harness itself only prints text tables)."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import typing
+
+Series = typing.Sequence[tuple[float, typing.Optional[float]]]
+
+
+def series_to_csv(path: str | pathlib.Path,
+                  series: dict[str, Series],
+                  time_header: str = "t_seconds") -> pathlib.Path:
+    """Write aligned time series as one CSV (empty cells for gaps).
+
+    All series must share bucket times, as produced by one experiment.
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("no series given")
+    base_times = [t for t, _v in series[names[0]]]
+    for name in names[1:]:
+        if [t for t, _v in series[name]] != base_times:
+            raise ValueError(f"series {name!r} has mismatched bucket times")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([time_header] + names)
+        for i, t in enumerate(base_times):
+            row: list = [t]
+            for name in names:
+                value = series[name][i][1]
+                row.append("" if value is None else value)
+            writer.writerow(row)
+    return path
+
+
+def rows_to_csv(path: str | pathlib.Path,
+                headers: typing.Sequence[str],
+                rows: typing.Iterable[typing.Sequence]) -> pathlib.Path:
+    """Write a plain table as CSV."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path

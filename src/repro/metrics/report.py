@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot, as aligned text tables, so results can be eyeballed against the
+paper without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def render_table(headers: typing.Sequence[str],
+                 rows: typing.Sequence[typing.Sequence[typing.Any]],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series: dict[str, list[tuple[float, float | None]]],
+    time_header: str = "t(s)",
+    title: str = "",
+) -> str:
+    """Render several aligned time series as one table.
+
+    All series must share the same bucket starts (the usual case when
+    they come from the same experiment window).
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("no series given")
+    base_times = [t for t, _v in series[names[0]]]
+    for name in names[1:]:
+        times = [t for t, _v in series[name]]
+        if times != base_times:
+            raise ValueError(f"series {name!r} has mismatched bucket times")
+    rows = []
+    for i, t in enumerate(base_times):
+        row: list[typing.Any] = [t]
+        for name in names:
+            row.append(series[name][i][1])
+        rows.append(row)
+    return render_table([time_header] + names, rows, title=title)
+
+
+def _fmt(value: typing.Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.4f}"
+    return str(value)

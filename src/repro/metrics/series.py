@@ -1,0 +1,96 @@
+"""Time-bucketed series for the paper's evaluation plots.
+
+All the paper's Fig. 6/8 panels are quantities sampled over rebalancing
+time (x-axis: seconds since the rebalance was initiated, from -180 s to
++570 s).  :class:`TimeSeries` accumulates raw observations and exposes
+per-bucket aggregates aligned to that axis.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+def percentile(values: typing.Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+class TimeSeries:
+    """Raw ``(time, value)`` observations with bucketed aggregation."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._points: list[tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> list[tuple[float, float]]:
+        return list(self._points)
+
+    def values(self) -> list[float]:
+        return [v for _t, v in self._points]
+
+    def between(self, t0: float, t1: float) -> list[float]:
+        """Values observed in ``[t0, t1)``."""
+        return [v for t, v in self._points if t0 <= t < t1]
+
+    def bucket_mean(self, t0: float, t1: float,
+                    width: float) -> list[tuple[float, float | None]]:
+        """Mean value per ``width``-second bucket over ``[t0, t1)``.
+
+        Returns ``(bucket_start, mean_or_None)`` pairs; empty buckets
+        report ``None`` so plots can show gaps honestly.
+        """
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        out: list[tuple[float, float | None]] = []
+        start = t0
+        while start < t1:
+            values = self.between(start, start + width)
+            mean = sum(values) / len(values) if values else None
+            out.append((start, mean))
+            start += width
+        return out
+
+    def bucket_rate(self, t0: float, t1: float,
+                    width: float) -> list[tuple[float, float]]:
+        """Events per second per bucket (each point counts as one event).
+
+        Used for throughput (qps): record one point per completed query
+        with any value; the rate is count / width.
+        """
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        out: list[tuple[float, float]] = []
+        start = t0
+        while start < t1:
+            count = len(self.between(start, start + width))
+            out.append((start, count / width))
+            start += width
+        return out
+
+    def mean(self) -> float:
+        values = self.values()
+        if not values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(values) / len(values)

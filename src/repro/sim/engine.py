@@ -1,0 +1,190 @@
+"""Simulation environment and process machinery.
+
+The :class:`Environment` owns the event heap and the virtual clock.
+:class:`Process` adapts a Python generator into a coroutine scheduled on
+that clock: every value the generator yields must be an
+:class:`~repro.sim.events.Event`; the generator resumes when the event
+triggers, receiving the event's value (or its exception).
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import Event, Timeout
+
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused or a process crashes
+    with nobody waiting to handle the failure."""
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process *is* an event: it triggers (with the generator's return
+    value) when the generator finishes, so other processes can wait for
+    it by yielding it.  If the generator raises, waiters see the
+    exception re-raised at their ``yield``; if nobody waits, the
+    environment escalates the error out of :meth:`Environment.run`.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str | None = None):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Bootstrap: run the first step as soon as the clock allows.
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._step)
+        env._schedule(bootstrap, 0)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator is still executing."""
+        return not self.triggered
+
+    def _step(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                event.defused = True
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            self.env._note_crash(self, exc)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}, which is not an Event"
+            )
+            self._generator.close()
+            self.fail(error)
+            self.env._note_crash(self, error)
+            return
+        self._waiting_on = target
+        target.add_callback(self._step)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name} {status}>"
+
+
+class Environment:
+    """Event heap, virtual clock, and process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._crashes: list[tuple[Process, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds, by project convention)."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def _queue_event(self, event: Event) -> None:
+        """Queue an already-triggered event for callback processing now."""
+        self._schedule(event, 0)
+
+    def _call_soon(self, thunk: typing.Callable[[], None]) -> None:
+        event = Event(self)
+        event.callbacks.append(lambda _e: thunk())
+        event._ok = True
+        event._value = None
+        self._schedule(event, 0)
+
+    def _note_crash(self, process: Process, exc: BaseException) -> None:
+        self._crashes.append((process, exc))
+
+    # -- public API ------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """An event that triggers ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str | None = None) -> Process:
+        """Launch ``generator`` as a new process, returning its handle."""
+        return Process(self, generator, name=name)
+
+    def run(self, until: float | Event | None = None) -> typing.Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run until the clock reaches it), an
+        event/process (run until it triggers, returning its value), or
+        ``None`` (run until the heap drains).
+        """
+        stop_event: Event | None = None
+        stop_time: float | None = None
+        if isinstance(until, Event):
+            stop_event = until
+            # run() itself handles a failure of the stop event (it is
+            # re-raised to the caller), so don't escalate it as orphan.
+            stop_event.defused = True
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"run(until={stop_time}) is in the past (now={self._now})"
+                )
+
+        while self._heap:
+            when, _seq, event = self._heap[0]
+            if stop_time is not None and when > stop_time:
+                self._now = stop_time
+                return None
+            heapq.heappop(self._heap)
+            self._now = when
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+            self._raise_orphan_crashes()
+            if stop_event is not None and stop_event.triggered:
+                if not stop_event.ok:
+                    stop_event.defused = True
+                    raise stop_event.value
+                return stop_event.value
+        if stop_time is not None:
+            self._now = stop_time
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError("run() ran out of events before `until` triggered")
+        return None
+
+    def _raise_orphan_crashes(self) -> None:
+        while self._crashes:
+            process, exc = self._crashes.pop(0)
+            if not process.defused and not process.callbacks:
+                raise SimulationError(
+                    f"process {process.name!r} crashed with nobody waiting: {exc!r}"
+                ) from exc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

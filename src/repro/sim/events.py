@@ -1,0 +1,163 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence on the simulation timeline.
+Processes suspend on events by ``yield``-ing them; when the event is
+*triggered* the environment resumes every waiting process with the
+event's value (or raises its failure exception inside the process).
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers the event exactly once; the environment then runs all
+    registered callbacks at the current simulation time.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[typing.Callable[["Event"], None]] = []
+        self._value: typing.Any = PENDING
+        self._ok = True
+        #: Set by the environment once callbacks have been delivered.
+        self._processed = False
+        #: Set by waiters that take responsibility for a failure so the
+        #: environment does not escalate it (SimPy calls this "defused").
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been given a value (success or failure)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been delivered."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> typing.Any:
+        if self._value is PENDING:
+            raise RuntimeError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: typing.Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure that waiters will re-raise."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._queue_event(self)
+        return self
+
+    def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event has been processed."""
+        if self._processed:
+            # Late subscription: deliver on the next scheduling round.
+            self.env._call_soon(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers after ``delay`` units of simulated time."""
+
+    def __init__(self, env: "Environment", delay: float, value: typing.Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+    def succeed(self, value: typing.Any = None) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events trigger themselves")
+
+
+class _Condition(Event):
+    """Base for events composed of several child events."""
+
+    def __init__(self, env: "Environment", events: typing.Sequence[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise ValueError("all events must belong to the same environment")
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, typing.Any]:
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+
+class AllOf(_Condition):
+    """Triggers once *all* child events have succeeded.
+
+    Fails as soon as any child fails (the failing exception is
+    propagated to waiters).
+    """
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers once *any* child event has succeeded."""
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())

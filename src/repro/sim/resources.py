@@ -1,0 +1,220 @@
+"""Queued resources and stores for the simulation kernel.
+
+:class:`Resource` models a server with ``capacity`` identical units
+(CPU cores, a disk's single actuator, a link's DMA engine).  Processes
+``yield resource.request()`` to obtain a unit and call
+:meth:`Resource.release` when done; contention shows up as queueing
+delay on the simulated clock.
+
+Every resource carries a :class:`UtilizationTracker` — a time-weighted
+integral of busy units — because the power model converts component
+utilisation into watts and the cluster monitor feeds utilisation to the
+rebalancer's threshold policies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+
+class UtilizationTracker:
+    """Time-weighted busy-units integral for a resource.
+
+    ``integral(now)`` returns the accumulated busy unit-seconds.
+    Consumers (power model, monitor) keep their own last checkpoint and
+    diff between calls, so several independent observers can share one
+    tracker.
+    """
+
+    def __init__(self, env: "Environment", capacity: int):
+        self.env = env
+        self.capacity = capacity
+        self._busy_integral = 0.0
+        self._in_use = 0
+        self._last_change = env.now
+
+    def update(self, in_use: int) -> None:
+        """Record that the number of busy units changed to ``in_use``."""
+        now = self.env.now
+        self._busy_integral += self._in_use * (now - self._last_change)
+        self._in_use = in_use
+        self._last_change = now
+
+    def integral(self, now: float | None = None) -> float:
+        """Busy unit-seconds accumulated up to ``now`` (default: current time)."""
+        if now is None:
+            now = self.env.now
+        return self._busy_integral + self._in_use * (now - self._last_change)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def utilization_since(self, t0: float, integral_at_t0: float) -> float:
+        """Mean utilisation (0..1) over ``[t0, now]`` given a checkpoint."""
+        now = self.env.now
+        elapsed = now - t0
+        if elapsed <= 0:
+            return self._in_use / self.capacity if self.capacity else 0.0
+        busy = self.integral(now) - integral_at_t0
+        return busy / (elapsed * self.capacity)
+
+
+class Request(Event):
+    """A pending claim on one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.released = False
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: typing.Any) -> None:
+        if not self.released:
+            self.resource.release(self)
+
+
+class Resource:
+    """A server with ``capacity`` units and a priority FIFO queue.
+
+    Lower ``priority`` values are served first; ties are FIFO.  The
+    default priority is 0, so plain callers get strict FIFO service.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: set[Request] = set()
+        self._queue: list[tuple[int, int, Request]] = []
+        self._seq = 0
+        self.tracker = UtilizationTracker(env, capacity)
+        #: Total completed grants, for throughput accounting.
+        self.grant_count = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_use(self) -> int:
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a unit; the returned event triggers when granted."""
+        req = Request(self, priority)
+        self._seq += 1
+        heapq.heappush(self._queue, (priority, self._seq, req))
+        self._dispatch()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit to the pool."""
+        if request.released:
+            return
+        request.released = True
+        if request in self.users:
+            self.users.remove(request)
+            self.tracker.update(len(self.users))
+            self._dispatch()
+        else:
+            # Cancelled before it was granted: drop it from the queue lazily.
+            self._queue = [(p, s, r) for (p, s, r) in self._queue if r is not request]
+            heapq.heapify(self._queue)
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            _prio, _seq, req = heapq.heappop(self._queue)
+            if req.released:
+                continue
+            self.users.add(req)
+            self.tracker.update(len(self.users))
+            self.grant_count += 1
+            req.succeed(req)
+
+    def serve(self, duration: float, priority: int = 0):
+        """Generator helper: acquire a unit, hold it ``duration``, release.
+
+        Usage inside a process::
+
+            yield from resource.serve(0.005)
+        """
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: typing.Any):
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+
+
+class Store:
+    """An unbounded-by-default FIFO buffer of items between processes.
+
+    Used as a mailbox: producers ``yield store.put(item)``, consumers
+    ``item = yield store.get()``.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[typing.Any] = []
+        self._getters: list[StoreGet] = []
+        self._putters: list[StorePut] = []
+
+    def put(self, item: typing.Any) -> StorePut:
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._flow()
+        return event
+
+    def get(self) -> StoreGet:
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._flow()
+        return event
+
+    def _flow(self) -> None:
+        # Admit pending puts while there is room.
+        while self._putters and len(self.items) < self.capacity:
+            put = self._putters.pop(0)
+            self.items.append(put.item)
+            put.succeed()
+        # Satisfy pending gets while items exist.
+        while self._getters and self.items:
+            get = self._getters.pop(0)
+            get.succeed(self.items.pop(0))
+        # A get may have freed room for a blocked put.
+        while self._putters and len(self.items) < self.capacity:
+            put = self._putters.pop(0)
+            self.items.append(put.item)
+            put.succeed()
+            while self._getters and self.items:
+                get = self._getters.pop(0)
+                get.succeed(self.items.pop(0))
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,24 @@
+"""Storage engine: records, slotted pages, segments, disk placement,
+and the buffer manager (with the rDMA remote-buffer extension used by
+helper nodes in the paper's final experiment)."""
+
+from repro.storage.record import Column, RecordVersion, Schema
+from repro.storage.page import Page, PageFullError
+from repro.storage.segment import Segment, SegmentFullError
+from repro.storage.disk_space import DiskSpaceManager, OutOfDiskSpaceError
+from repro.storage.buffer import BufferPool, BufferPoolExhaustedError, RemoteBufferExtension
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolExhaustedError",
+    "Column",
+    "DiskSpaceManager",
+    "OutOfDiskSpaceError",
+    "Page",
+    "PageFullError",
+    "RecordVersion",
+    "RemoteBufferExtension",
+    "Schema",
+    "Segment",
+    "SegmentFullError",
+]

@@ -1,0 +1,93 @@
+"""Slotted pages.
+
+"The data granularity inside the buffer is a page, which is also the
+unit of data transfer between nodes." (Sect. 4)  Pages hold record
+versions in slots; freed slots are reused.  Byte accounting is real:
+a page admits a version only if its serialised size still fits.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.hardware import specs
+from repro.storage.record import RecordVersion
+
+PAGE_HEADER_BYTES = 96
+SLOT_BYTES = 8
+
+
+class PageFullError(RuntimeError):
+    """Raised when a version does not fit into the page."""
+
+
+class Page:
+    """A fixed-size slotted page holding :class:`RecordVersion` slots."""
+
+    def __init__(self, page_id: int, segment_id: int,
+                 capacity_bytes: int = specs.PAGE_BYTES):
+        if capacity_bytes <= PAGE_HEADER_BYTES:
+            raise ValueError(f"page capacity too small: {capacity_bytes}")
+        self.page_id = page_id
+        self.segment_id = segment_id
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = PAGE_HEADER_BYTES
+        self._slots: list[RecordVersion | None] = []
+        self._free_slots: list[int] = []
+        #: Log sequence number of the last change, for recovery.
+        self.lsn = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def live_slot_count(self) -> int:
+        return len(self._slots) - len(self._free_slots)
+
+    def fits(self, version: RecordVersion) -> bool:
+        extra_slot = 0 if self._free_slots else SLOT_BYTES
+        return version.size_bytes + extra_slot <= self.free_bytes
+
+    def insert(self, version: RecordVersion) -> int:
+        """Store a version; returns its slot number."""
+        if not self.fits(version):
+            raise PageFullError(
+                f"page {self.page_id}: {version.size_bytes} B does not fit "
+                f"in {self.free_bytes} B free"
+            )
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._slots[slot] = version
+            self.used_bytes += version.size_bytes
+        else:
+            slot = len(self._slots)
+            self._slots.append(version)
+            self.used_bytes += version.size_bytes + SLOT_BYTES
+        return slot
+
+    def get(self, slot: int) -> RecordVersion:
+        version = self._slots[slot] if 0 <= slot < len(self._slots) else None
+        if version is None:
+            raise KeyError(f"page {self.page_id}: slot {slot} is empty")
+        return version
+
+    def remove(self, slot: int) -> RecordVersion:
+        """Free a slot (version GC or record movement); returns it."""
+        version = self.get(slot)
+        self._slots[slot] = None
+        self._free_slots.append(slot)
+        self.used_bytes -= version.size_bytes
+        return version
+
+    def versions(self) -> typing.Iterator[tuple[int, RecordVersion]]:
+        """All occupied slots in slot order (a physical page scan)."""
+        for slot, version in enumerate(self._slots):
+            if version is not None:
+                yield slot, version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Page {self.page_id} seg={self.segment_id} "
+            f"slots={self.live_slot_count} used={self.used_bytes}B>"
+        )

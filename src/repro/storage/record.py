@@ -1,0 +1,151 @@
+"""Records, schemas, and record versions.
+
+Records are schema-typed tuples.  Under MVCC every logical record is a
+chain of :class:`RecordVersion` objects — "modifying a record creates a
+new version of it without deleting the old one immediately"
+(Sect. 3.5) — and each version occupies real page space, which is how
+the MVCC storage overhead of Fig. 3 is measured rather than assumed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+_KIND_BASE_WIDTH = {"int": 8, "float": 8, "str": 2, "blob": 4}
+_KINDS = set(_KIND_BASE_WIDTH)
+
+
+@dataclasses.dataclass(frozen=True)
+class Column:
+    """One column: a name, a kind, and a declared width.
+
+    ``str`` columns account their actual (capped) value length; ``blob``
+    columns always account their full declared width regardless of the
+    stored placeholder — the scaling device that lets experiments carry
+    paper-scale byte volumes without paper-scale Python object counts.
+    """
+
+    name: str
+    kind: str = "int"
+    width: int = 0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown column kind {self.kind!r}")
+        if self.kind in ("str", "blob") and self.width <= 0:
+            raise ValueError(
+                f"{self.kind} column {self.name!r} needs a positive width"
+            )
+
+    def sizeof(self, value: typing.Any) -> int:
+        if self.kind == "str":
+            return _KIND_BASE_WIDTH["str"] + min(len(value), self.width)
+        if self.kind == "blob":
+            return _KIND_BASE_WIDTH["blob"] + self.width
+        return _KIND_BASE_WIDTH[self.kind]
+
+
+class Schema:
+    """An ordered set of columns with a (possibly composite) primary key."""
+
+    def __init__(self, columns: typing.Sequence[Column],
+                 key: typing.Sequence[str]):
+        if not columns:
+            raise ValueError("schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {names}")
+        if not key:
+            raise ValueError("schema needs a primary key")
+        for k in key:
+            if k not in names:
+                raise ValueError(f"key column {k!r} is not in the schema")
+        self.columns = tuple(columns)
+        self.key = tuple(key)
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+        self._key_indexes = tuple(self._index[k] for k in self.key)
+
+    def column_index(self, name: str) -> int:
+        if name not in self._index:
+            raise KeyError(f"no column {name!r}")
+        return self._index[name]
+
+    def key_of(self, values: typing.Sequence[typing.Any]) -> typing.Any:
+        """The primary key of a row: scalar for single-column keys,
+        tuple for composite keys."""
+        if len(self._key_indexes) == 1:
+            return values[self._key_indexes[0]]
+        return tuple(values[i] for i in self._key_indexes)
+
+    def sizeof(self, values: typing.Sequence[typing.Any]) -> int:
+        """Serialised byte size of a row (used for page fill and wire
+        transfer accounting)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, schema has {len(self.columns)} columns"
+            )
+        return sum(c.sizeof(v) for c, v in zip(self.columns, values))
+
+    def validate(self, values: typing.Sequence[typing.Any]) -> None:
+        """Cheap type check of a row against the schema."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, schema has {len(self.columns)} columns"
+            )
+        for column, value in zip(self.columns, values):
+            if column.kind == "int" and not isinstance(value, int):
+                raise TypeError(f"column {column.name!r} expects int, got {value!r}")
+            if column.kind == "float" and not isinstance(value, (int, float)):
+                raise TypeError(f"column {column.name!r} expects float, got {value!r}")
+            if column.kind in ("str", "blob") and not isinstance(value, str):
+                raise TypeError(f"column {column.name!r} expects str, got {value!r}")
+
+    def project(self, values: typing.Sequence[typing.Any],
+                names: typing.Sequence[str]) -> tuple:
+        return tuple(values[self.column_index(n)] for n in names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(c.name for c in self.columns)
+        return f"<Schema ({cols}) key={self.key}>"
+
+
+#: Version-header overhead per stored version (timestamps, txn ids).
+VERSION_HEADER_BYTES = 24
+
+
+@dataclasses.dataclass
+class RecordVersion:
+    """One version of a logical record, as stored in a page slot.
+
+    Commit timestamps are ``None`` while the creating/deleting
+    transaction is still in flight; visibility checks resolve those
+    through the transaction table (see :mod:`repro.txn.mvcc`).
+    """
+
+    key: typing.Any
+    values: tuple
+    size_bytes: int
+    created_by: int
+    created_ts: int | None = None
+    deleted_by: int | None = None
+    deleted_ts: int | None = None
+    #: The segment currently storing this version (maintained by
+    #: ``Segment.insert_version``); lets undo/GC find a version even
+    #: after a segment split relocated it.
+    home: typing.Any = dataclasses.field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def make(cls, schema: Schema, values: typing.Sequence[typing.Any],
+             created_by: int) -> "RecordVersion":
+        values = tuple(values)
+        return cls(
+            key=schema.key_of(values),
+            values=values,
+            size_bytes=schema.sizeof(values) + VERSION_HEADER_BYTES,
+            created_by=created_by,
+        )
+
+    @property
+    def is_delete_pending_or_done(self) -> bool:
+        return self.deleted_by is not None

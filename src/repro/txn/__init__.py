@@ -1,0 +1,41 @@
+"""Transaction substrate: timestamps, MVCC, MGL-RX locking, WAL.
+
+The paper (Sect. 3.5) compares classical Multi-Granularity Locking with
+RX modes against Multiversion Concurrency Control while records move
+between partitions, and adopts MVCC; system transactions protect record
+movement.  Both mechanisms are implemented here and selectable per
+experiment, which is what regenerates Fig. 3.
+"""
+
+from repro.txn.ids import TimestampOracle
+from repro.txn.locks import (
+    LockManager,
+    LockMode,
+    LockTimeoutError,
+)
+from repro.txn.manager import (
+    Transaction,
+    TransactionAborted,
+    TransactionManager,
+    TxnState,
+    WriteConflictError,
+)
+from repro.txn import mvcc, recovery
+from repro.txn.wal import LogManager, LogRecord, LogShippingSink
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LockTimeoutError",
+    "LogManager",
+    "LogRecord",
+    "LogShippingSink",
+    "TimestampOracle",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionManager",
+    "TxnState",
+    "WriteConflictError",
+    "mvcc",
+    "recovery",
+]

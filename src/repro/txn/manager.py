@@ -1,0 +1,177 @@
+"""Transaction lifecycle: begin, commit, abort; system transactions.
+
+Commit stamps MVCC timestamps into every version the transaction wrote,
+forces the WAL of every node it touched, and releases its locks.  Abort
+undoes in-memory changes (new versions removed, delete marks cleared).
+
+"So-called system transactions are provided to guarantee serializability
+of record movement" (Sect. 3.5) — they are ordinary transactions with
+the ``is_system`` flag, used by the migration engine.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.metrics.breakdown import CostBreakdown
+from repro.sim.engine import Environment
+from repro.storage.record import RecordVersion
+from repro.storage.segment import Segment
+from repro.txn.ids import TimestampOracle
+from repro.txn.locks import LockManager
+from repro.txn.wal import LogManager
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionAborted(RuntimeError):
+    """The transaction cannot continue and must be rolled back."""
+
+
+class WriteConflictError(TransactionAborted):
+    """Snapshot-isolation first-updater-wins conflict."""
+
+
+class Transaction:
+    """One unit of work under either MVCC or MGL-RX."""
+
+    def __init__(self, txn_id: int, begin_ts: int, is_system: bool = False):
+        self.txn_id = txn_id
+        self.begin_ts = begin_ts
+        self.is_system = is_system
+        self.state = TxnState.ACTIVE
+        self.commit_ts: int | None = None
+        self._created: list[tuple[Segment, RecordVersion, tuple[int, int]]] = []
+        self._deleted: list[tuple[Segment, RecordVersion]] = []
+        self._dirty_logs: list[LogManager] = []
+
+    # -- write-set bookkeeping (called by mvcc / access layer) ---------------
+
+    def note_created(self, segment: Segment, version: RecordVersion,
+                     location: tuple[int, int]) -> None:
+        self._created.append((segment, version, location))
+
+    def note_deleted(self, segment: Segment, version: RecordVersion) -> None:
+        self._deleted.append((segment, version))
+
+    def note_log(self, log: LogManager) -> None:
+        if log not in self._dirty_logs:
+            self._dirty_logs.append(log)
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self._created and not self._deleted
+
+    @property
+    def write_count(self) -> int:
+        return len(self._created) + len(self._deleted)
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionAborted(
+                f"txn {self.txn_id} is {self.state.value}, not active"
+            )
+
+
+class TransactionManager:
+    """Cluster-wide transaction table and lifecycle driver."""
+
+    def __init__(self, env: Environment,
+                 oracle: TimestampOracle | None = None,
+                 lock_manager: LockManager | None = None):
+        self.env = env
+        self.oracle = oracle or TimestampOracle()
+        self.locks = lock_manager or LockManager(env)
+        self._active: dict[int, Transaction] = {}
+        self.committed_count = 0
+        self.aborted_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self, is_system: bool = False) -> Transaction:
+        txn = Transaction(self.oracle.next(), self.oracle.current, is_system)
+        self._active[txn.txn_id] = txn
+        return txn
+
+    def commit(self, txn: Transaction, breakdown: CostBreakdown | None = None,
+               priority: int = 0, immediate_gc: bool = False):
+        """Generator: make the transaction durable and visible.
+
+        ``immediate_gc=True`` is the single-version (locking) storage
+        discipline: versions this transaction superseded are physically
+        reclaimed at commit — under strict 2PL no snapshot can still
+        need them.  Under MVCC they linger for old readers (Fig. 3's
+        storage-overhead line) until vacuumed.
+        """
+        txn.require_active()
+        commit_ts = self.oracle.next()
+        for _segment, version, _location in txn._created:
+            version.created_ts = commit_ts
+        for _segment, version in txn._deleted:
+            version.deleted_ts = commit_ts
+        for log in txn._dirty_logs:
+            lsn = log.append(txn.txn_id, "commit")
+            yield from log.flush(lsn, breakdown, priority)
+        if immediate_gc:
+            for segment, version in txn._deleted:
+                home = version.home or segment
+                for page_no, slot, candidate in home.versions_for(version.key):
+                    if candidate is version:
+                        home.remove_version(version.key, page_no, slot)
+                        break
+        txn.commit_ts = commit_ts
+        txn.state = TxnState.COMMITTED
+        self._finish(txn)
+        self.committed_count += 1
+
+    def abort(self, txn: Transaction) -> None:
+        """Undo the transaction's in-memory effects (no I/O needed:
+        nothing of an uncommitted transaction is required on disk)."""
+        txn.require_active()
+        # Undo in reverse order so update pairs unwind correctly.  The
+        # stored location may be stale if a segment split relocated the
+        # version, so resolve by identity through its current home.
+        for segment, version, (page_no, slot) in reversed(txn._created):
+            home = version.home or segment
+            for pno, slot_no, candidate in home.versions_for(version.key):
+                if candidate is version:
+                    home.remove_version(version.key, pno, slot_no)
+                    break
+            else:
+                raise RuntimeError(
+                    f"undo lost track of version {version.key!r} "
+                    f"created by txn {txn.txn_id}"
+                )
+        for _segment, version in txn._deleted:
+            if version.deleted_by == txn.txn_id:
+                version.deleted_by = None
+        for log in txn._dirty_logs:
+            log.append(txn.txn_id, "abort")
+        txn.state = TxnState.ABORTED
+        self._finish(txn)
+        self.aborted_count += 1
+
+    def _finish(self, txn: Transaction) -> None:
+        self._active.pop(txn.txn_id, None)
+        self.locks.release_all(txn.txn_id)
+
+    # -- snapshot horizon ------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def active_transactions(self) -> list[Transaction]:
+        return list(self._active.values())
+
+    def oldest_active_begin_ts(self) -> int:
+        """GC horizon: versions deleted before this are invisible to
+        every live snapshot."""
+        if not self._active:
+            return self.oracle.current + 1
+        return min(t.begin_ts for t in self._active.values())

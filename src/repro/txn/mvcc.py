@@ -1,0 +1,140 @@
+"""Multiversion concurrency control: snapshot visibility and GC.
+
+"MVCC allows multiple versions of DB objects to exist; modifying a
+record creates a new version of it without deleting the old one
+immediately.  Hence, readers can still access old versions ...
+especially useful for dynamic partitioning techniques, where records
+are frequently moved, i.e., deleted and re-created on another
+partition." (Sect. 3.5)
+
+These are pure data operations on segments; the caller (the worker's
+access layer) charges CPU and buffer/page costs around them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.storage.record import RecordVersion
+from repro.storage.segment import Segment
+from repro.txn.manager import TransactionAborted
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.txn.manager import Transaction
+
+
+class DuplicateKeyError(TransactionAborted):
+    """An insert found a visible version of the key already present.
+
+    An abortable condition: racing inserters roll back and retry
+    instead of crashing the simulation.
+    """
+
+
+def is_visible(version: RecordVersion, txn: "Transaction") -> bool:
+    """Snapshot-isolation visibility of one version to one transaction."""
+    created_visible = (
+        version.created_by == txn.txn_id
+        or (version.created_ts is not None and version.created_ts <= txn.begin_ts)
+    )
+    if not created_visible:
+        return False
+    deleted_visible = (
+        version.deleted_by == txn.txn_id
+        or (version.deleted_ts is not None and version.deleted_ts <= txn.begin_ts)
+    )
+    return not deleted_visible
+
+
+def visible_version(segment: Segment, key: typing.Any,
+                    txn: "Transaction") -> RecordVersion | None:
+    """The (unique) version of ``key`` visible to ``txn``, if any."""
+    for _page_no, _slot, version in segment.versions_for(key):
+        if is_visible(version, txn):
+            return version
+    return None
+
+
+def newest_version(segment: Segment, key: typing.Any) -> RecordVersion | None:
+    chain = segment.versions_for(key)
+    return chain[0][2] if chain else None
+
+
+def has_write_conflict(segment: Segment, key: typing.Any,
+                       txn: "Transaction") -> bool:
+    """First-updater-wins check before a write to ``key``.
+
+    True when the newest version was created or delete-marked by a
+    *different* transaction that is either still in flight or committed
+    after our snapshot.
+    """
+    newest = newest_version(segment, key)
+    if newest is None:
+        return False
+    if newest.created_by != txn.txn_id:
+        if newest.created_ts is None or newest.created_ts > txn.begin_ts:
+            return True
+    if newest.deleted_by is not None and newest.deleted_by != txn.txn_id:
+        if newest.deleted_ts is None or newest.deleted_ts > txn.begin_ts:
+            return True
+    return False
+
+
+def insert(segment: Segment, version: RecordVersion,
+           txn: "Transaction") -> tuple[int, int]:
+    """Insert a brand-new record version; duplicate-key checked against
+    the transaction's snapshot."""
+    existing = visible_version(segment, version.key, txn)
+    if existing is not None:
+        raise DuplicateKeyError(f"key {version.key!r} already visible")
+    location = segment.insert_version(version)
+    txn.note_created(segment, version, location)
+    return location
+
+
+def update(segment: Segment, key: typing.Any, new_version: RecordVersion,
+           txn: "Transaction") -> tuple[int, int]:
+    """Delete-mark the visible version and chain a new one."""
+    from repro.txn.manager import WriteConflictError
+
+    if has_write_conflict(segment, key, txn):
+        raise WriteConflictError(f"write-write conflict on key {key!r}")
+    current = visible_version(segment, key, txn)
+    if current is None:
+        raise KeyError(f"key {key!r} not visible to txn {txn.txn_id}")
+    current.deleted_by = txn.txn_id
+    txn.note_deleted(segment, current)
+    # Version chains may overflow the extent until vacuum runs.
+    location = segment.insert_version(new_version, allow_overflow=True)
+    txn.note_created(segment, new_version, location)
+    return location
+
+
+def delete(segment: Segment, key: typing.Any, txn: "Transaction") -> None:
+    """Delete-mark the visible version of ``key``."""
+    from repro.txn.manager import WriteConflictError
+
+    if has_write_conflict(segment, key, txn):
+        raise WriteConflictError(f"write-write conflict on key {key!r}")
+    current = visible_version(segment, key, txn)
+    if current is None:
+        raise KeyError(f"key {key!r} not visible to txn {txn.txn_id}")
+    current.deleted_by = txn.txn_id
+    txn.note_deleted(segment, current)
+
+
+def vacuum(segment: Segment, horizon_ts: int) -> int:
+    """Garbage-collect versions deleted before every active snapshot.
+
+    Returns the number of versions reclaimed.  This is what eventually
+    returns the MVCC storage overhead of Fig. 3 back to baseline.
+    """
+    reclaimed = 0
+    dead: list[tuple[typing.Any, int, int]] = []
+    for page_no, slot, version in segment.scan_versions():
+        if version.deleted_ts is not None and version.deleted_ts < horizon_ts:
+            dead.append((version.key, page_no, slot))
+    for key, page_no, slot in dead:
+        segment.remove_version(key, page_no, slot)
+        reclaimed += 1
+    return reclaimed

@@ -1,0 +1,167 @@
+"""Write-ahead logging with group commit and log shipping.
+
+"For durability reasons, write-ahead logs must be maintained at all
+times.  When repartitioning, although record ownership changes, log
+files remain on the original node ...  Since moving a partition
+involves read-locking the entire partition, this operation acts as a
+checkpoint." (Sect. 4.3)
+
+The helper-node experiment (Fig. 8) ships log writes to a helper over
+the network instead of the local disk — implemented here as a pluggable
+sink.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware.disk import Disk
+from repro.hardware.network import Network, NetworkPort
+from repro.metrics.breakdown import CostBreakdown
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+#: Minimum physical write when forcing the log (one log block).
+LOG_BLOCK_BYTES = 4096
+
+#: Fixed serialized overhead per log record.
+LOG_RECORD_HEADER_BYTES = 48
+
+
+@dataclasses.dataclass(frozen=True)
+class LogRecord:
+    """One logical log record."""
+
+    lsn: int
+    txn_id: int
+    kind: str  # insert | delete | update | commit | abort | checkpoint
+    payload: typing.Any = None
+    nbytes: int = LOG_RECORD_HEADER_BYTES
+
+
+class LogShippingSink:
+    """A remote log destination on a helper node (Fig. 8)."""
+
+    def __init__(self, network: Network, local_port: NetworkPort,
+                 remote_port: NetworkPort, remote_disk: Disk):
+        self.network = network
+        self.local_port = local_port
+        self.remote_port = remote_port
+        self.remote_disk = remote_disk
+
+    def write(self, nbytes: int, priority: int):
+        """Generator: push log bytes to the helper and persist there."""
+        yield from self.network.transfer(
+            self.local_port, self.remote_port, nbytes, priority
+        )
+        yield from self.remote_disk.write(nbytes, sequential=True, priority=priority)
+
+
+class LogManager:
+    """Per-node WAL: in-memory append, forced flush with group commit."""
+
+    def __init__(self, env: Environment, disk: Disk, name: str = "wal"):
+        self.env = env
+        self.disk = disk
+        self.name = name
+        self.records: list[LogRecord] = []
+        self._next_lsn = 0
+        self._appended_bytes = 0
+        self._flushed_bytes = 0
+        self.flushed_lsn = 0
+        self._flush_lock = Resource(env, capacity=1, name=f"{name}.flush")
+        self._sink: LogShippingSink | None = None
+        self.flush_count = 0
+        self.bytes_flushed_total = 0
+
+    # -- sink management (log shipping) --------------------------------------
+
+    def ship_to(self, sink: LogShippingSink) -> None:
+        """Redirect forced log writes to a helper node."""
+        self._sink = sink
+
+    def ship_locally(self) -> None:
+        """Return to writing the local log disk."""
+        self._sink = None
+
+    @property
+    def is_shipping(self) -> bool:
+        return self._sink is not None
+
+    # -- append / flush ------------------------------------------------------
+
+    def append(self, txn_id: int, kind: str, payload: typing.Any = None,
+               nbytes: int | None = None) -> int:
+        """Add a record to the in-memory log tail; returns its LSN.
+
+        Durability requires a later :meth:`flush` up to this LSN.
+        """
+        self._next_lsn += 1
+        size = LOG_RECORD_HEADER_BYTES if nbytes is None else nbytes
+        record = LogRecord(self._next_lsn, txn_id, kind, payload, size)
+        self.records.append(record)
+        self._appended_bytes += size
+        return record.lsn
+
+    def flush(self, lsn: int, breakdown: CostBreakdown | None = None,
+              priority: int = 0):
+        """Generator: force the log out at least up to ``lsn``.
+
+        Group commit falls out of the flush lock: committers that queue
+        behind an in-flight flush usually find their LSN already
+        covered when they get the lock and return without I/O.
+        """
+        t0 = self.env.now
+        while self.flushed_lsn < lsn:
+            request = self._flush_lock.request(priority)
+            yield request
+            try:
+                if self.flushed_lsn >= lsn:
+                    break
+                pending = self._appended_bytes - self._flushed_bytes
+                target_lsn = self._next_lsn
+                target_bytes = self._appended_bytes
+                nbytes = max(pending, LOG_BLOCK_BYTES)
+                if self._sink is not None:
+                    yield from self._sink.write(nbytes, priority)
+                else:
+                    yield from self.disk.write(nbytes, sequential=True,
+                                               priority=priority)
+                self.flushed_lsn = target_lsn
+                self._flushed_bytes = target_bytes
+                self.flush_count += 1
+                self.bytes_flushed_total += nbytes
+            finally:
+                self._flush_lock.release(request)
+        if breakdown is not None:
+            breakdown.add("logging", self.env.now - t0)
+
+    # -- checkpoints and recovery ---------------------------------------------
+
+    def checkpoint(self, payload: typing.Any = None) -> int:
+        """Append a checkpoint marker (partition moves act as one)."""
+        return self.append(txn_id=0, kind="checkpoint", payload=payload)
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop records older than ``lsn``; returns how many were cut.
+
+        After a successful partition move "the old copies and the old
+        log file are no longer required".
+        """
+        keep = [r for r in self.records if r.lsn >= lsn]
+        cut = len(self.records) - len(keep)
+        self.records = keep
+        return cut
+
+    def committed_ops_since(self, lsn: int = 0) -> list[LogRecord]:
+        """Redo scan: data records of transactions with a flushed-side
+        commit record, in log order (the recovery contract)."""
+        committed = {
+            r.txn_id for r in self.records if r.kind == "commit" and r.lsn > lsn
+        }
+        return [
+            r for r in self.records
+            if r.lsn > lsn and r.txn_id in committed
+            and r.kind in ("insert", "delete", "update")
+        ]

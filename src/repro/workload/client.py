@@ -1,0 +1,100 @@
+"""The OLTP client model.
+
+"In each experiment, we spawned a number of OLTP clients, sending
+queries to the DBMS.  Each client submits a randomly selected query at
+specified intervals.  If the query is answered, the next query is
+delayed until the subsequent interval ...  By limiting the maximum
+throughput at the client side, this experiment differs from traditional
+benchmarking." (Sect. 5.1)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.metrics.breakdown import CostBreakdown
+from repro.txn.manager import TransactionAborted
+from repro.txn.locks import LockTimeoutError
+from repro.workload.tpcc_txns import DEFAULT_MIX, TRANSACTIONS, TpccContext
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.driver import WorkloadDriver
+
+#: A query is abandoned after this many conflict-retries.
+MAX_RETRIES = 8
+
+
+class OltpClient:
+    """One closed-loop client with a fixed submit interval."""
+
+    def __init__(self, client_id: int, ctx: TpccContext,
+                 driver: "WorkloadDriver", interval: float,
+                 mix: list[tuple[str, float]] | None = None):
+        if interval <= 0:
+            raise ValueError("client interval must be positive")
+        self.client_id = client_id
+        self.ctx = ctx
+        self.driver = driver
+        self.interval = interval
+        self.mix = mix or DEFAULT_MIX
+        self.queries_done = 0
+        self.queries_failed = 0
+
+    def _pick(self) -> str:
+        roll = self.ctx.rng.random()
+        acc = 0.0
+        for name, weight in self.mix:
+            acc += weight
+            if roll < acc:
+                return name
+        return self.mix[-1][0]
+
+    def run(self, until: float):
+        """Generator process: the client's closed submit loop."""
+        env = self.ctx.cluster.env
+        next_submit = env.now
+        while env.now < until:
+            if next_submit > env.now:
+                yield env.timeout(next_submit - env.now)
+            if env.now >= until:
+                break
+            submit_time = env.now
+            yield from self._one_query()
+            # "the next query is delayed until the subsequent interval"
+            next_submit = submit_time + self.interval
+
+    def _one_query(self):
+        env = self.ctx.cluster.env
+        cluster = self.ctx.cluster
+        name = self._pick()
+        body = TRANSACTIONS[name]
+        start = env.now
+        for _attempt in range(MAX_RETRIES):
+            txn = cluster.txns.begin()
+            breakdown = CostBreakdown()
+            try:
+                yield from cluster.network.rpc_delay()  # client -> master
+                yield from cluster.master.plan()
+                result = yield from body(self.ctx, txn, breakdown)
+                yield from cluster.txns.commit(
+                    txn, breakdown,
+                    immediate_gc=(self.ctx.cc == "locking"),
+                )
+            except (TransactionAborted, LockTimeoutError):
+                if txn.state.value == "active":
+                    cluster.txns.abort(txn)
+                self.driver.note_conflict(name)
+                yield env.timeout(0.01)  # brief backoff before retry
+                continue
+            except LookupError:
+                # Data momentarily unlocatable (routing race): retry.
+                if txn.state.value == "active":
+                    cluster.txns.abort(txn)
+                self.driver.note_conflict(name)
+                yield env.timeout(0.01)
+                continue
+            self.queries_done += 1
+            self.driver.note_completion(name, start, env.now, breakdown, result)
+            return
+        self.queries_failed += 1
+        self.driver.note_failure(name, start, env.now)

@@ -1,0 +1,148 @@
+"""Workload driver: spawns clients, collects the paper's metrics.
+
+Produces exactly the series the evaluation figures plot: completed
+queries (-> qps), per-query response times (-> avg ms), power samples
+(-> watts), and energy-per-query; plus aggregated cost breakdowns for
+the Fig. 7 component analysis.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.metrics.breakdown import CostBreakdown
+from repro.metrics.series import TimeSeries
+from repro.txn import mvcc
+from repro.workload.client import OltpClient
+from repro.workload.tpcc_txns import TpccContext
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+def start_vacuum_daemon(cluster: "Cluster", interval: float = 30.0):
+    """Launch the background version GC on every worker's partitions."""
+
+    def daemon():
+        while True:
+            yield cluster.env.timeout(interval)
+            horizon = cluster.txns.oldest_active_begin_ts()
+            for worker in cluster.active_workers():
+                for partition in list(worker.partitions.values()):
+                    for segment in list(partition.segments.values()):
+                        mvcc.vacuum(segment, horizon)
+
+    return cluster.env.process(daemon(), name="vacuum-daemon")
+
+
+class WorkloadDriver:
+    """Runs N closed-loop clients and records the evaluation series."""
+
+    def __init__(self, cluster: "Cluster", ctx: TpccContext,
+                 clients: int, client_interval: float,
+                 mix: list[tuple[str, float]] | None = None,
+                 power_sample_interval: float = 5.0):
+        if clients < 1:
+            raise ValueError("need at least one client")
+        self.cluster = cluster
+        self.ctx = ctx
+        self.clients = [
+            OltpClient(i, ctx, self, client_interval, mix)
+            for i in range(clients)
+        ]
+        self.power_sample_interval = power_sample_interval
+
+        self.completions = TimeSeries("completions")
+        self.response_times = TimeSeries("response_ms")
+        self.power = TimeSeries("watts")
+        self.failures = TimeSeries("failures")
+        self.conflicts = 0
+        self.breakdown_samples: list[tuple[float, CostBreakdown]] = []
+        self.results_by_kind: dict[str, int] = {}
+
+    # -- client callbacks -------------------------------------------------
+
+    def note_completion(self, kind: str, start: float, end: float,
+                        breakdown: CostBreakdown, result) -> None:
+        self.completions.record(end, 1.0)
+        self.response_times.record(end, (end - start) * 1000.0)
+        self.breakdown_samples.append((end, breakdown))
+        self.results_by_kind[kind] = self.results_by_kind.get(kind, 0) + 1
+
+    def note_failure(self, kind: str, start: float, end: float) -> None:
+        self.failures.record(end, 1.0)
+
+    def note_conflict(self, kind: str) -> None:
+        self.conflicts += 1
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self, duration: float):
+        """Generator: drive the workload for ``duration`` seconds."""
+        env = self.cluster.env
+        until = env.now + duration
+        procs = [
+            env.process(client.run(until), name=f"client-{client.client_id}")
+            for client in self.clients
+        ]
+        meter_proc = env.process(self._meter_loop(until), name="power-meter")
+        for proc in procs:
+            yield proc
+        yield meter_proc
+
+    def _meter_loop(self, until: float):
+        meter = self.cluster.meter
+        meter.sample()  # reset the checkpoint to now
+        while self.cluster.env.now < until:
+            step = min(self.power_sample_interval,
+                       until - self.cluster.env.now)
+            if step <= 0:
+                break
+            yield self.cluster.env.timeout(step)
+            now, watts = meter.sample()
+            self.power.record(now, watts)
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_completed(self) -> int:
+        return len(self.completions)
+
+    @property
+    def total_failed(self) -> int:
+        return len(self.failures)
+
+    def qps_series(self, t0: float, t1: float, width: float):
+        return self.completions.bucket_rate(t0, t1, width)
+
+    def response_series(self, t0: float, t1: float, width: float):
+        return self.response_times.bucket_mean(t0, t1, width)
+
+    def power_series(self, t0: float, t1: float, width: float):
+        return self.power.bucket_mean(t0, t1, width)
+
+    def energy_per_query_series(self, t0: float, t1: float, width: float):
+        """Joules per query per bucket: mean watts x width / completions."""
+        qps = dict(self.qps_series(t0, t1, width))
+        out = []
+        for time, watts in self.power_series(t0, t1, width):
+            rate = qps.get(time, 0.0)
+            if watts is None or rate <= 0:
+                out.append((time, None))
+            else:
+                out.append((time, watts / rate))
+        return out
+
+    def mean_breakdown(self, t0: float | None = None,
+                       t1: float | None = None) -> CostBreakdown:
+        """Average per-query component times over a window (Fig. 7)."""
+        chosen = [
+            b for t, b in self.breakdown_samples
+            if (t0 is None or t >= t0) and (t1 is None or t < t1)
+        ]
+        mean = CostBreakdown()
+        if not chosen:
+            return mean
+        for b in chosen:
+            mean.merge(b)
+        return mean.scaled(1.0 / len(chosen))

@@ -1,0 +1,178 @@
+"""Access-layer behaviours: write intents, undo logging, locking-mode
+visibility, and mid-move read routing."""
+
+import pytest
+
+from repro import Cluster, Column, Environment, Schema
+from repro.txn import LockMode
+
+
+@pytest.fixture()
+def rig():
+    env = Environment()
+    cluster = Cluster(env, node_count=3, initially_active=2,
+                      buffer_pages_per_node=256, segment_max_pages=16,
+                      page_bytes=2048, lock_timeout=1.0)
+    schema = Schema([Column("id"), Column("v", "str", width=32)], key=("id",))
+    cluster.master.create_table("kv", schema, owner=cluster.workers[0])
+
+    def load():
+        txn = cluster.txns.begin()
+        for i in range(50):
+            yield from cluster.master.insert("kv", (i, "x"), txn)
+        yield from cluster.txns.commit(txn)
+
+    env.run(until=env.process(load()))
+    partition = list(cluster.workers[0].partitions.values())[0]
+    return env, cluster, partition
+
+
+def test_writers_announce_partition_intent(rig):
+    env, cluster, partition = rig
+    observed = {}
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from cluster.master.update("kv", 1, (1, "y"), txn)
+        observed["mode"] = cluster.txns.locks.mode_held(
+            txn.txn_id, ("partition", partition.partition_id)
+        )
+        yield from cluster.txns.commit(txn)
+
+    env.run(until=env.process(work()))
+    assert observed["mode"] is LockMode.IX
+    # Released at commit.
+    assert cluster.txns.locks.holders(
+        ("partition", partition.partition_id)
+    ) == {}
+
+
+def test_partition_read_lock_drains_mvcc_writers(rig):
+    """The physiological protocol's prerequisite: a partition S lock
+    waits for (and blocks) even MVCC writers."""
+    env, cluster, partition = rig
+    log = []
+
+    def writer():
+        txn = cluster.txns.begin()
+        yield from cluster.master.update("kv", 1, (1, "w"), txn)
+        yield env.timeout(2.0)  # hold the intent
+        yield from cluster.txns.commit(txn)
+        log.append(("writer-done", env.now))
+
+    def mover():
+        yield env.timeout(0.5)
+        guard = cluster.txns.begin(is_system=True)
+        yield from cluster.txns.locks.lock_partition(
+            guard.txn_id, "kv", partition.partition_id, LockMode.S,
+            timeout=30.0,
+        )
+        log.append(("lock-granted", env.now))
+        yield from cluster.txns.commit(guard)
+
+    env.process(writer())
+    proc = env.process(mover())
+    env.run(until=proc)
+    assert log[0][0] == "writer-done"
+    assert log[1][0] == "lock-granted"
+
+
+def test_locking_update_logs_undo_image(rig):
+    env, cluster, partition = rig
+    worker = cluster.workers[0]
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from cluster.master.update("kv", 1, (1, "y"), txn, cc="locking")
+        yield from worker.commit(txn, cc="locking")
+
+    env.run(until=env.process(work()))
+    kinds = [r.kind for r in worker.wal.records]
+    assert "undo" in kinds
+
+    def mvcc_work():
+        txn = cluster.txns.begin()
+        yield from cluster.master.update("kv", 2, (2, "y"), txn, cc="mvcc")
+        yield from worker.commit(txn, cc="mvcc")
+
+    before = [r.kind for r in worker.wal.records].count("undo")
+    env.run(until=env.process(mvcc_work()))
+    after = [r.kind for r in worker.wal.records].count("undo")
+    assert after == before  # MVCC needs no separate undo image
+
+
+def test_locking_read_ignores_uncommitted_delete_mark(rig):
+    """Sect. 3.5: old copies remain readable until the movement (or the
+    deleting transaction) commits."""
+    env, cluster, partition = rig
+    results = {}
+
+    def work():
+        deleter = cluster.txns.begin()
+        yield from cluster.master.delete("kv", 5, deleter, cc="mvcc")
+        # Uncommitted delete: a locking-mode reader still sees the row.
+        reader = cluster.txns.begin()
+        results["during"] = yield from cluster.master.read(
+            "kv", 5, reader, cc="locking"
+        )
+        yield from cluster.txns.commit(reader)
+        yield from cluster.txns.commit(deleter)
+        reader2 = cluster.txns.begin()
+        results["after"] = yield from cluster.master.read(
+            "kv", 5, reader2, cc="locking"
+        )
+        yield from cluster.txns.commit(reader2)
+
+    env.run(until=env.process(work()))
+    assert results["during"] == (5, "x")
+    assert results["after"] is None
+
+
+def test_read_tries_other_candidate_when_not_visible_here(rig):
+    """Mid-move routing: a key already moved to the target is found
+    there even while the master still lists both candidates."""
+    from repro.core import LogicalPartitioning
+
+    env, cluster, partition = rig
+    scheme = LogicalPartitioning()
+
+    def move_and_read():
+        yield from cluster.power_on(2)
+        yield from scheme.migrate_fraction(
+            cluster, "kv", cluster.workers[0], [cluster.worker(2)], 0.5
+        )
+        txn = cluster.txns.begin()
+        row = yield from cluster.master.read("kv", 49, txn)  # moved key
+        yield from cluster.txns.commit(txn)
+        return row
+
+    row = env.run(until=env.process(move_and_read()))
+    assert row == (49, "x")
+
+
+def test_dispatch_hop_charged_once_per_txn_per_node(rig):
+    """Plan shipping: the master pays one RPC per (txn, worker)."""
+    from repro.metrics import CostBreakdown
+    from repro.hardware import specs
+
+    env, cluster, partition = rig
+    # Move the table to node 1 so access needs a hop.
+    cluster.master.create_table(
+        "far", Schema([Column("id"), Column("v", "str", width=8)],
+                      key=("id",)),
+        owner=cluster.workers[1],
+    )
+    breakdown = CostBreakdown()
+
+    def work():
+        txn = cluster.txns.begin()
+        for i in range(10):
+            yield from cluster.master.insert("far", (i, "x"), txn,
+                                             breakdown=breakdown)
+        yield from cluster.txns.commit(txn)
+
+    env.run(until=env.process(work()))
+    # One dispatch round trip, not ten.
+    assert breakdown.network_io == pytest.approx(
+        specs.NET_RPC_LATENCY_SECONDS, rel=0.2
+    )

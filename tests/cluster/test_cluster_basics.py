@@ -1,0 +1,194 @@
+"""Integration tests: cluster assembly and the routed access layer."""
+
+import pytest
+
+from repro import Cluster, Column, Environment, KeyRange, Schema
+
+
+def small_cluster(node_count=4, initially_active=2, buffer_pages=256):
+    env = Environment()
+    cluster = Cluster(
+        env, node_count=node_count, initially_active=initially_active,
+        buffer_pages_per_node=buffer_pages, segment_max_pages=64,
+    )
+    return env, cluster
+
+
+def simple_schema():
+    return Schema([Column("id"), Column("v", "str", width=32)], key=("id",))
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_cluster_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Cluster(env, node_count=0)
+    with pytest.raises(ValueError):
+        Cluster(env, node_count=2, initially_active=3)
+
+
+def test_cluster_construction():
+    env, cluster = small_cluster()
+    assert len(cluster.workers) == 4
+    assert cluster.active_node_count == 2
+    assert len(cluster.standby_workers()) == 2
+    assert cluster.master.worker is cluster.workers[0]
+    assert cluster.current_watts() > 0
+
+
+def test_worker_lookup():
+    env, cluster = small_cluster()
+    assert cluster.worker(1).node_id == 1
+    with pytest.raises(KeyError):
+        cluster.worker(99)
+
+
+def test_create_table_registers_partition():
+    env, cluster = small_cluster()
+    partition = cluster.master.create_table(
+        "kv", simple_schema(), owner=cluster.workers[0]
+    )
+    assert partition.partition_id in cluster.workers[0].partitions
+    location = cluster.master.gpt.locate("kv", 123)
+    assert location.node_id == 0
+
+
+def test_insert_then_read_roundtrip():
+    env, cluster = small_cluster()
+    master = cluster.master
+    master.create_table("kv", simple_schema(), owner=cluster.workers[0])
+    results = {}
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from master.plan()
+        yield from master.insert("kv", (1, "hello"), txn)
+        yield from master.insert("kv", (2, "world"), txn)
+        yield from cluster.workers[0].commit(txn)
+
+        reader = cluster.txns.begin()
+        results["r1"] = yield from master.read("kv", 1, reader)
+        results["r2"] = yield from master.read("kv", 2, reader)
+        results["r3"] = yield from master.read("kv", 3, reader)
+        yield from cluster.workers[0].commit(reader)
+
+    run(env, work())
+    assert results["r1"] == (1, "hello")
+    assert results["r2"] == (2, "world")
+    assert results["r3"] is None
+
+
+def test_update_and_delete_roundtrip():
+    env, cluster = small_cluster()
+    master = cluster.master
+    master.create_table("kv", simple_schema(), owner=cluster.workers[0])
+    results = {}
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from master.insert("kv", (1, "v1"), txn)
+        yield from cluster.workers[0].commit(txn)
+
+        txn = cluster.txns.begin()
+        yield from master.update("kv", 1, (1, "v2"), txn)
+        yield from cluster.workers[0].commit(txn)
+
+        txn = cluster.txns.begin()
+        results["after_update"] = yield from master.read("kv", 1, txn)
+        yield from master.delete("kv", 1, txn)
+        yield from cluster.workers[0].commit(txn)
+
+        txn = cluster.txns.begin()
+        results["after_delete"] = yield from master.read("kv", 1, txn)
+        yield from cluster.workers[0].commit(txn)
+
+    run(env, work())
+    assert results["after_update"] == (1, "v2")
+    assert results["after_delete"] is None
+
+
+def test_read_on_remote_partition_costs_network_hop():
+    """A partition owned by node 1 is reached via an RPC from the
+    master; the cost lands in the breakdown's network bucket."""
+    from repro.metrics import CostBreakdown
+
+    env, cluster = small_cluster()
+    master = cluster.master
+    master.create_table("kv", simple_schema(), owner=cluster.workers[1])
+    breakdown = CostBreakdown()
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from master.insert("kv", (7, "x"), txn, breakdown=breakdown)
+        yield from cluster.workers[1].commit(txn)
+
+    run(env, work())
+    assert breakdown.network_io > 0
+
+
+def test_inserts_spill_across_segments():
+    env, cluster = small_cluster()
+    master = cluster.master
+    master.create_table("kv", simple_schema(), owner=cluster.workers[0])
+    partition = list(cluster.workers[0].partitions.values())[0]
+
+    def work():
+        txn = cluster.txns.begin()
+        for i in range(500):
+            yield from master.insert("kv", (i, "x" * 30), txn)
+        yield from cluster.workers[0].commit(txn)
+
+    run(env, work())
+    assert partition.record_count == 500
+    assert partition.segment_count >= 1
+
+
+def test_power_off_requires_empty_node():
+    env, cluster = small_cluster()
+    master = cluster.master
+    master.create_table("kv", simple_schema(), owner=cluster.workers[1])
+    worker1 = cluster.workers[1]
+    partition = list(worker1.partitions.values())[0]
+    segment = partition.new_segment(KeyRange(None, None))
+    worker1.host_segment(segment)
+
+    def work():
+        yield from cluster.power_off(1)
+
+    with pytest.raises(Exception):
+        run(env, work())
+
+
+def test_master_cannot_power_off():
+    env, cluster = small_cluster()
+
+    def work():
+        yield from cluster.power_off(0)
+
+    with pytest.raises(Exception):
+        run(env, work())
+
+
+def test_power_on_off_cycle_changes_active_count():
+    env, cluster = small_cluster(node_count=3, initially_active=1)
+
+    def work():
+        yield from cluster.power_on(1)
+        assert cluster.active_node_count == 2
+        yield from cluster.power_off(1)
+
+    run(env, work())
+    assert cluster.active_node_count == 1
+
+
+def test_energy_accumulates():
+    env, cluster = small_cluster()
+
+    def clock():
+        yield env.timeout(100)
+
+    run(env, clock())
+    assert cluster.energy_joules() > 0

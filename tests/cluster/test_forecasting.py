@@ -1,0 +1,124 @@
+"""Tests for load forecasting and the proactive policy."""
+
+import pytest
+
+from repro.cluster import PolicyThresholds, ThresholdPolicy
+from repro.cluster.forecasting import (
+    ForecastingPolicy,
+    LoadForecaster,
+    WorkloadHint,
+)
+from repro.cluster.monitor import NodeSample
+
+
+def sample(node_id=0, cpu=0.0, time=0.0):
+    return NodeSample(
+        time=time, node_id=node_id, cpu_utilization=cpu,
+        disk_utilization=0.0, iops=0.0, net_bytes=0,
+        buffer_hit_ratio=1.0, partition_stats=[],
+    )
+
+
+class TestLoadForecaster:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadForecaster(alpha=0)
+        with pytest.raises(ValueError):
+            LoadForecaster(beta=1.5)
+        with pytest.raises(ValueError):
+            LoadForecaster(horizon=0)
+
+    def test_no_prediction_before_observation(self):
+        f = LoadForecaster()
+        assert f.predict(0) is None
+        assert f.trend(0) is None
+
+    def test_flat_load_predicts_flat(self):
+        f = LoadForecaster(horizon=30)
+        for t in range(0, 60, 5):
+            f.observe(sample(cpu=0.4, time=float(t)))
+        assert f.predict(0, now=55.0) == pytest.approx(0.4, abs=0.05)
+        assert f.trend(0) == pytest.approx(0.0, abs=0.01)
+
+    def test_rising_load_predicts_above_current(self):
+        f = LoadForecaster(horizon=30)
+        for i, t in enumerate(range(0, 60, 5)):
+            f.observe(sample(cpu=0.02 * i, time=float(t)))
+        current = 0.02 * 11
+        predicted = f.predict(0, now=55.0)
+        assert predicted > current
+        assert f.trend(0) > 0
+
+    def test_prediction_clamped_to_unit_interval(self):
+        f = LoadForecaster(horizon=1000)
+        for i, t in enumerate(range(0, 60, 5)):
+            f.observe(sample(cpu=min(0.08 * i, 1.0), time=float(t)))
+        assert f.predict(0, now=55.0) == 1.0
+
+    def test_hint_overrides_low_forecast(self):
+        f = LoadForecaster(horizon=30)
+        for t in range(0, 60, 5):
+            f.observe(sample(cpu=0.1, time=float(t)))
+        f.add_hint(WorkloadHint(start=80, end=120, expected_utilization=0.9))
+        assert f.predict(0, now=55.0) == pytest.approx(0.9)
+        # Outside the hint window the forecast is the smoothed level.
+        assert f.predict(0, now=200.0) == pytest.approx(0.1, abs=0.05)
+
+    def test_hint_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadHint(10, 10, 0.5)
+        with pytest.raises(ValueError):
+            WorkloadHint(0, 10, 1.5)
+
+    def test_clear_expired_hints(self):
+        f = LoadForecaster()
+        f.add_hint(WorkloadHint(0, 10, 0.9))
+        f.add_hint(WorkloadHint(100, 200, 0.9))
+        f.clear_expired_hints(now=50.0)
+        assert len(f._hints) == 1
+
+    def test_per_node_state_is_independent(self):
+        f = LoadForecaster()
+        f.observe(sample(node_id=0, cpu=0.9, time=0))
+        f.observe(sample(node_id=1, cpu=0.1, time=0))
+        assert f.predict(0) > f.predict(1)
+
+
+class TestForecastingPolicy:
+    def test_fires_before_threshold_is_violated(self):
+        """A steeply rising load triggers scale-out while current
+        utilisation is still under the 80% bound."""
+        base = ThresholdPolicy(PolicyThresholds(consecutive_samples=1))
+        policy = ForecastingPolicy(
+            base, LoadForecaster(alpha=0.8, beta=0.8, horizon=60)
+        )
+        decision = None
+        for i, t in enumerate(range(0, 40, 5)):
+            cpu = 0.05 + 0.06 * i  # reaches only 0.47 now, 80%+ soon
+            decision = policy.observe([sample(cpu=cpu, time=float(t))])
+        assert decision is not None
+        assert decision.wants_scale_out
+
+    def test_plain_policy_would_not_fire(self):
+        base = ThresholdPolicy(PolicyThresholds(consecutive_samples=1))
+        decision = None
+        for i, t in enumerate(range(0, 40, 5)):
+            cpu = 0.05 + 0.06 * i
+            decision = base.observe([sample(cpu=cpu, time=float(t))])
+        assert not decision.wants_scale_out
+
+    def test_flat_load_does_not_false_fire(self):
+        base = ThresholdPolicy(PolicyThresholds(consecutive_samples=1))
+        policy = ForecastingPolicy(base)
+        decision = None
+        for t in range(0, 60, 5):
+            decision = policy.observe([sample(cpu=0.5, time=float(t))])
+        assert not decision.wants_scale_out
+        assert not decision.wants_scale_in
+
+    def test_reset_passthrough(self):
+        base = ThresholdPolicy(PolicyThresholds(consecutive_samples=1))
+        policy = ForecastingPolicy(base)
+        policy.observe([sample(cpu=0.95, time=0.0)])
+        policy.reset(0)
+        assert policy.thresholds is base.thresholds

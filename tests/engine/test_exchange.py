@@ -1,0 +1,118 @@
+"""Exchange and prefetch-buffer tests — the Fig. 1 mechanics."""
+
+import pytest
+
+from repro.engine import PrefetchBuffer, Project, RemoteExchange, TableScan
+from repro.metrics import CostBreakdown
+from tests.engine.conftest import make_ctx
+
+
+def make_exchange(env, cluster, worker, partition, ctx):
+    consumer = cluster.workers[1]
+    scan = TableScan(ctx, worker, partition)
+    return RemoteExchange(
+        ctx, scan, cluster.network,
+        producer_cpu=worker.cpu, producer_port=worker.port,
+        consumer_cpu=consumer.cpu, consumer_port=consumer.port,
+    ), consumer
+
+
+def drain(env, op):
+    return env.run(until=env.process(op.drain()))
+
+
+def test_exchange_delivers_all_rows(loaded):
+    env, cluster, worker, partition = loaded
+    ctx = make_ctx(env, vector_size=32)
+    exchange, _consumer = make_exchange(env, cluster, worker, partition, ctx)
+    rows = drain(env, exchange)
+    assert sorted(r[0] for r in rows) == list(range(200))
+    assert exchange.bytes_shipped > 0
+    assert exchange.calls >= 200 // 32
+
+
+def test_exchange_charges_network_time(loaded):
+    env, cluster, worker, partition = loaded
+    breakdown = CostBreakdown()
+    ctx = make_ctx(env, vector_size=32)
+    ctx.breakdown = breakdown
+    exchange, _ = make_exchange(env, cluster, worker, partition, ctx)
+    drain(env, exchange)
+    assert breakdown.network_io > 0
+
+
+def test_single_record_exchange_is_much_slower(loaded):
+    """Fig. 1's third bar: one record per call collapses throughput."""
+    env, cluster, worker, partition = loaded
+
+    ctx_vec = make_ctx(env, vector_size=64)
+    exchange, _ = make_exchange(env, cluster, worker, partition, ctx_vec)
+    t0 = env.now
+    drain(env, exchange)
+    vectorised_time = env.now - t0
+
+    ctx_one = make_ctx(env, vector_size=1)
+    exchange_one, _ = make_exchange(env, cluster, worker, partition, ctx_one)
+    t0 = env.now
+    drain(env, exchange_one)
+    single_time = env.now - t0
+
+    assert single_time > 5 * vectorised_time
+
+
+def test_prefetch_buffer_preserves_rows(loaded):
+    env, cluster, worker, partition = loaded
+    ctx = make_ctx(env, vector_size=32)
+    exchange, _ = make_exchange(env, cluster, worker, partition, ctx)
+    buffered = PrefetchBuffer(ctx, exchange, depth=2)
+    rows = drain(env, buffered)
+    assert sorted(r[0] for r in rows) == list(range(200))
+    assert buffered.vectors_prefetched > 0
+
+
+def test_prefetch_buffer_depth_validation(loaded):
+    env, cluster, worker, partition = loaded
+    ctx = make_ctx(env)
+    scan = TableScan(ctx, worker, partition)
+    with pytest.raises(ValueError):
+        PrefetchBuffer(ctx, scan, depth=0)
+
+
+def test_prefetch_buffer_overlaps_consumer_work(loaded):
+    """With a slow consumer, prefetch hides producer+wire latency: the
+    buffered pipeline finishes faster than the unbuffered one."""
+    env, cluster, worker, partition = loaded
+    consumer = cluster.workers[1]
+
+    def run_pipeline(use_buffer):
+        ctx = make_ctx(env, vector_size=16)
+        exchange, _ = make_exchange(env, cluster, worker, partition, ctx)
+        source = PrefetchBuffer(ctx, exchange, depth=3) if use_buffer else exchange
+        project = Project(ctx, consumer.cpu, source, ["id"])
+
+        def timed():
+            t0 = env.now
+            yield from project.drain()
+            return env.now - t0
+
+        return env.run(until=env.process(timed()))
+
+    unbuffered = run_pipeline(False)
+    buffered = run_pipeline(True)
+    assert buffered < unbuffered
+
+
+def test_prefetch_buffer_early_close_terminates_producer(loaded):
+    env, cluster, worker, partition = loaded
+    ctx = make_ctx(env, vector_size=8)
+    scan = TableScan(ctx, worker, partition)
+    buffered = PrefetchBuffer(ctx, scan, depth=2)
+
+    def partial():
+        yield from buffered.open()
+        yield from buffered.next_vector()
+        yield from buffered.close()
+
+    env.run(until=env.process(partial()))
+    assert buffered._producer is not None
+    assert not buffered._producer.is_alive

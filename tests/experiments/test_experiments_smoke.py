@@ -1,0 +1,122 @@
+"""Fast smoke tests of the experiment harness (full-scale shape checks
+live in benchmarks/)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    Fig6Config,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig6,
+    run_power_validation,
+)
+from repro.experiments.fig3_mvcc import Fig3Config
+from repro.workload import TpccConfig
+
+
+def test_power_validation_bands():
+    result = run_power_validation()
+    assert 60 <= result.minimal_watts <= 70
+    assert 255 <= result.full_load_watts <= 285
+    assert result.node_standby_watts == pytest.approx(2.5)
+    assert len(result.proportionality_curve) == 10
+    assert "Sect. 3.1" in result.to_table()
+
+
+def test_fig1_small_preserves_ordering():
+    result = run_fig1(rows=4000)
+    r = result.records_per_second
+    assert r["tbscan_local"] > r["project_local"]
+    assert r["project_local"] > r["project_remote_vectorized"]
+    assert r["project_remote_buffered"] > r["project_remote_vectorized"]
+    assert r["project_remote_single"] < 1200
+    assert "Fig. 1" in result.to_table()
+
+
+def test_fig2_small_crossover():
+    result = run_fig2(rows=400, concurrency_levels=(1, 8), window=8.0)
+    assert result.local_qps[1] > result.offloaded_qps[1]
+    assert result.offloaded_qps[8] > result.local_qps[8]
+    assert result.crossover() == 8
+    assert "Fig. 2" in result.to_table()
+
+
+def test_fig3_tiny_cell_shapes():
+    config = Fig3Config(
+        rows=400, clients=6, partitions=4,
+        update_ratios=(0.0, 1.0), max_window=120.0,
+        payload_bytes=4096, buffer_pages=128,
+    )
+    result = run_fig3(config)
+    # MVCC storage overhead grows with updates; locking stays bounded.
+    assert result.storage_pct["mvcc"][1.0] > result.storage_pct["mvcc"][0.0]
+    assert result.storage_pct["locking"][1.0] < 150
+    # Throughputs are positive and tabulated.
+    assert result.tpm["mvcc"][0.0] > 0
+    assert result.tpm["locking"][1.0] > 0
+    assert "Fig. 3" in result.to_table()
+
+
+def tiny_fig6_config() -> Fig6Config:
+    return Fig6Config(
+        tpcc=TpccConfig(
+            warehouses=4, districts_per_warehouse=4,
+            customers_per_district=10, items=100,
+            orders_per_district=8, order_lines_per_order=3,
+        ),
+        clients=6, client_interval=0.3,
+        ballast_rows_per_warehouse=300, ballast_blob_bytes=16 * 1024,
+        node_count=6, warmup=15.0, tail=60.0, bucket=15.0,
+        tpcc_segment_max_pages=4,
+    )
+
+
+@pytest.mark.parametrize("scheme", ["physical", "logical", "physiological"])
+def test_fig6_tiny_run_all_schemes(scheme):
+    result = run_fig6(scheme, tiny_fig6_config())
+    assert result.scheme == scheme
+    assert result.total_completed > 50
+    assert result.migration_seconds > 0
+    assert result.records_moved > 0
+    # Series cover the whole window with the configured buckets.
+    assert len(result.qps) == 5  # (15 + 60) / 15
+    assert "Fig. 6" in result.to_table()
+    # Power series is sane: between idle minimum and cluster maximum.
+    watt_values = [v for _t, v in result.watts if v is not None]
+    assert watt_values
+    assert all(40 < v < 200 for v in watt_values)
+
+
+def test_fig6_helper_variant_runs():
+    config = dataclasses.replace(tiny_fig6_config(), helper_nodes=(4, 5))
+    result = run_fig6("physiological", config)
+    assert result.total_completed > 50
+    # Helpers raise the power envelope during the migration window.
+    during = result.mean_between(result.watts, 0, result.migration_seconds)
+    before = result.mean_between(result.watts, -15, 0)
+    if during is not None and before is not None:
+        assert during > before
+
+
+def test_scale_in_tiny_run():
+    from repro.experiments import ScaleInConfig, run_scale_in
+    from repro.workload import TpccConfig
+
+    config = ScaleInConfig(
+        tpcc=TpccConfig(
+            warehouses=4, districts_per_warehouse=4,
+            customers_per_district=10, items=80, orders_per_district=5,
+            order_lines_per_order=3,
+        ),
+        clients=3, client_interval=0.5, node_count=4,
+        warmup=15.0, tail=45.0, bucket=15.0, victims=(3, 2),
+    )
+    result = run_scale_in(config)
+    assert result.active_after == 2
+    assert result.total_failed == 0
+    watts_before = result.mean_between(result.watts, -15, 0)
+    watts_after = result.mean_between(result.watts, 15, 45)
+    assert watts_after < watts_before - 20

@@ -1,0 +1,157 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.hardware import Network, NetworkPort, specs
+from repro.sim import Environment
+
+
+def make_ports(env, n):
+    return [NetworkPort(env, name=f"n{i}.port") for i in range(n)]
+
+
+def test_transfer_time_is_latency_plus_wire_time():
+    env = Environment()
+    net = Network(env)
+    a, b = make_ports(env, 2)
+    nbytes = 10 * 1024 * 1024
+
+    def move():
+        yield from net.transfer(a, b, nbytes)
+
+    env.run(until=env.process(move()))
+    expected = specs.NET_MESSAGE_LATENCY_SECONDS + nbytes / specs.NET_BANDWIDTH_BYTES_PER_S
+    assert env.now == pytest.approx(expected)
+    assert a.bytes_sent == nbytes
+    assert b.bytes_received == nbytes
+    assert net.bytes_total == nbytes
+
+
+def test_loopback_transfer_is_free():
+    env = Environment()
+    net = Network(env)
+    (a,) = make_ports(env, 1)
+
+    def move():
+        yield from net.transfer(a, a, 10**9)
+        yield env.timeout(0)
+
+    env.run(until=env.process(move()))
+    assert env.now == 0
+    assert net.transfer_count == 0
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    net = Network(env)
+    a, b = make_ports(env, 2)
+
+    def move():
+        yield from net.transfer(a, b, -1)
+
+    with pytest.raises(ValueError):
+        env.run(until=env.process(move()))
+
+
+def test_fan_in_bottlenecks_at_receiver():
+    """Two senders to one receiver: rx lane serialises -> ~2x time."""
+    env = Environment()
+    net = Network(env)
+    a, b, c = make_ports(env, 3)
+    nbytes = 125 * 1024 * 1024  # 1 second of wire time
+    finishes = []
+
+    def move(src):
+        yield from net.transfer(src, c, nbytes)
+        finishes.append(env.now)
+
+    env.process(move(a))
+    env.process(move(b))
+    env.run()
+    assert finishes[0] == pytest.approx(1.0, rel=0.01)
+    assert finishes[1] == pytest.approx(2.0, rel=0.01)
+
+
+def test_disjoint_pairs_transfer_in_parallel():
+    env = Environment()
+    net = Network(env)
+    a, b, c, d = make_ports(env, 4)
+    nbytes = 125 * 1024 * 1024
+    finishes = []
+
+    def move(src, dst):
+        yield from net.transfer(src, dst, nbytes)
+        finishes.append(env.now)
+
+    env.process(move(a, b))
+    env.process(move(c, d))
+    env.run()
+    assert finishes == pytest.approx([1.0, 1.0], rel=0.01)
+
+
+def test_bidirectional_same_pair_is_full_duplex():
+    env = Environment()
+    net = Network(env)
+    a, b = make_ports(env, 2)
+    nbytes = 125 * 1024 * 1024
+    finishes = []
+
+    def move(src, dst):
+        yield from net.transfer(src, dst, nbytes)
+        finishes.append(env.now)
+
+    env.process(move(a, b))
+    env.process(move(b, a))
+    env.run()
+    # a->b uses a.tx + b.rx; b->a uses b.tx + a.rx: no shared lane.
+    assert finishes == pytest.approx([1.0, 1.0], rel=0.01)
+
+
+def test_concurrent_same_direction_transfers_do_not_deadlock():
+    """Regression guard for the tx/rx ordered-acquisition rule."""
+    env = Environment()
+    net = Network(env)
+    a, b = make_ports(env, 2)
+    nbytes = 12_500_000
+    done = []
+
+    def move(tag):
+        yield from net.transfer(a, b, nbytes)
+        done.append(tag)
+
+    for tag in range(10):
+        env.process(move(tag))
+    env.run(until=1000)
+    assert sorted(done) == list(range(10))
+
+
+def test_many_random_transfers_complete():
+    import random
+
+    rng = random.Random(7)
+    env = Environment()
+    net = Network(env)
+    ports = make_ports(env, 6)
+    done = []
+
+    def move(tag):
+        src, dst = rng.sample(ports, 2)
+        yield env.timeout(rng.random())
+        yield from net.transfer(src, dst, rng.randrange(1, 10**7))
+        done.append(tag)
+
+    for tag in range(50):
+        env.process(move(tag))
+    env.run(until=10_000)
+    assert len(done) == 50
+
+
+def test_rpc_delay():
+    env = Environment()
+    net = Network(env)
+
+    def call():
+        yield from net.rpc_delay()
+
+    env.run(until=env.process(call()))
+    assert env.now == pytest.approx(specs.NET_RPC_LATENCY_SECONDS)

@@ -1,0 +1,183 @@
+"""Unit and property tests for the B+-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import BPlusTree
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(order=3)
+
+
+def test_empty_tree():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert tree.get(1) is None
+    assert 1 not in tree
+    assert list(tree.items()) == []
+    with pytest.raises(KeyError):
+        tree.min_key()
+    with pytest.raises(KeyError):
+        tree.max_key()
+
+
+def test_insert_and_get():
+    tree = BPlusTree(order=4)
+    for i in range(100):
+        tree.insert(i, i * 2)
+    assert len(tree) == 100
+    for i in range(100):
+        assert tree.get(i) == i * 2
+    assert tree.get(1000) is None
+
+
+def test_insert_overwrites():
+    tree = BPlusTree()
+    tree.insert("k", 1)
+    tree.insert("k", 2)
+    assert len(tree) == 1
+    assert tree.get("k") == 2
+
+
+def test_reverse_insertion_order():
+    tree = BPlusTree(order=4)
+    for i in reversed(range(200)):
+        tree.insert(i, i)
+    assert list(tree.keys()) == list(range(200))
+
+
+def test_delete():
+    tree = BPlusTree(order=4)
+    for i in range(50):
+        tree.insert(i, i)
+    assert tree.delete(25)
+    assert not tree.delete(25)
+    assert len(tree) == 49
+    assert tree.get(25) is None
+    assert list(tree.keys()) == [i for i in range(50) if i != 25]
+
+
+def test_range_scan_half_open():
+    tree = BPlusTree(order=4)
+    for i in range(0, 100, 2):
+        tree.insert(i, i)
+    assert [k for k, _v in tree.items(lo=10, hi=20)] == [10, 12, 14, 16, 18]
+
+
+def test_range_scan_inclusive():
+    tree = BPlusTree(order=4)
+    for i in range(10):
+        tree.insert(i, i)
+    assert [k for k, _v in tree.items(lo=3, hi=6, hi_inclusive=True)] == [3, 4, 5, 6]
+
+
+def test_range_scan_unbounded_sides():
+    tree = BPlusTree(order=4)
+    for i in range(10):
+        tree.insert(i, i)
+    assert [k for k, _v in tree.items(hi=3)] == [0, 1, 2]
+    assert [k for k, _v in tree.items(lo=7)] == [7, 8, 9]
+
+
+def test_range_scan_lo_between_keys():
+    tree = BPlusTree(order=4)
+    for i in (10, 20, 30):
+        tree.insert(i, i)
+    assert [k for k, _v in tree.items(lo=15)] == [20, 30]
+
+
+def test_min_max_keys():
+    tree = BPlusTree(order=4)
+    for i in (5, 1, 9, 3):
+        tree.insert(i, i)
+    assert tree.min_key() == 1
+    assert tree.max_key() == 9
+
+
+def test_first_at_or_after():
+    tree = BPlusTree(order=4)
+    for i in (10, 20, 30):
+        tree.insert(i, str(i))
+    assert tree.first_at_or_after(15) == (20, "20")
+    assert tree.first_at_or_after(20) == (20, "20")
+    assert tree.first_at_or_after(31) is None
+
+
+def test_tuple_keys():
+    """Composite primary keys (warehouse_id, district_id) must work."""
+    tree = BPlusTree(order=4)
+    for w in range(3):
+        for d in range(3):
+            tree.insert((w, d), w * 10 + d)
+    assert tree.get((1, 2)) == 12
+    scanned = [k for k, _v in tree.items(lo=(1, 0), hi=(2, 0))]
+    assert scanned == [(1, 0), (1, 1), (1, 2)]
+
+
+def test_string_keys():
+    tree = BPlusTree(order=4)
+    words = ["pear", "apple", "fig", "banana", "cherry"]
+    for w in words:
+        tree.insert(w, len(w))
+    assert list(tree.keys()) == sorted(words)
+
+
+def test_height_grows_logarithmically():
+    tree = BPlusTree(order=8)
+    for i in range(1000):
+        tree.insert(i, i)
+    assert 2 <= tree.height <= 6
+
+
+def test_bulk_load():
+    tree = BPlusTree.bulk_load([(3, "c"), (1, "a"), (2, "b")], order=4)
+    assert list(tree.items()) == [(1, "a"), (2, "b"), (3, "c")]
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=-10**6, max_value=10**6)))
+def test_property_matches_dict_semantics(keys):
+    tree = BPlusTree(order=4)
+    model = {}
+    for k in keys:
+        tree.insert(k, k * 3)
+        model[k] = k * 3
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    for k in keys:
+        assert tree.get(k) == model[k]
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=1),
+    st.lists(st.integers(min_value=0, max_value=500)),
+)
+def test_property_delete_matches_model(inserts, deletes):
+    tree = BPlusTree(order=4)
+    model = {}
+    for k in inserts:
+        tree.insert(k, k)
+        model[k] = k
+    for k in deletes:
+        assert tree.delete(k) == (k in model)
+        model.pop(k, None)
+    assert list(tree.items()) == sorted(model.items())
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, unique=True),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_range_scan_matches_filter(keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = BPlusTree(order=4)
+    for k in keys:
+        tree.insert(k, k)
+    expected = sorted(k for k in keys if lo <= k < hi)
+    assert [k for k, _v in tree.items(lo=lo, hi=hi)] == expected

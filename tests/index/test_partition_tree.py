@@ -1,0 +1,115 @@
+"""Tests for KeyRange and the per-partition top index."""
+
+import pytest
+
+from repro.index import KeyRange, PartitionTree
+from repro.index.partition_tree import Forwarding
+
+
+class TestKeyRange:
+    def test_contains_half_open(self):
+        r = KeyRange(10, 20)
+        assert r.contains(10)
+        assert r.contains(19)
+        assert not r.contains(20)
+        assert not r.contains(9)
+
+    def test_unbounded_sides(self):
+        assert KeyRange(None, 10).contains(-(10**9))
+        assert not KeyRange(None, 10).contains(10)
+        assert KeyRange(10, None).contains(10**9)
+        assert KeyRange(None, None).contains(0)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRange(5, 5)
+        with pytest.raises(ValueError):
+            KeyRange(6, 5)
+
+    def test_overlaps(self):
+        assert KeyRange(0, 10).overlaps(KeyRange(5, 15))
+        assert not KeyRange(0, 10).overlaps(KeyRange(10, 20))  # touching
+        assert KeyRange(None, None).overlaps(KeyRange(3, 4))
+        assert not KeyRange(0, 5).overlaps(KeyRange(7, 9))
+
+    def test_split(self):
+        low, high = KeyRange(0, 100).split_at(40)
+        assert (low.low, low.high) == (0, 40)
+        assert (high.low, high.high) == (40, 100)
+
+    def test_split_outside_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRange(0, 10).split_at(10)
+        with pytest.raises(ValueError):
+            KeyRange(0, 10).split_at(0)
+
+    def test_split_unbounded(self):
+        low, high = KeyRange(None, None).split_at(7)
+        assert low.high == 7 and low.low is None
+        assert high.low == 7 and high.high is None
+
+    def test_str(self):
+        assert str(KeyRange(1, 2)) == "[1, 2)"
+        assert "inf" in str(KeyRange(None, None))
+
+
+class TestPartitionTree:
+    def test_attach_and_find(self):
+        tree = PartitionTree(partition_id=1)
+        tree.attach(100, KeyRange(0, 50), "seg-a")
+        tree.attach(101, KeyRange(50, 100), "seg-b")
+        assert tree.find(10) == "seg-a"
+        assert tree.find(50) == "seg-b"
+        assert tree.find(100) is None
+        assert len(tree) == 2
+
+    def test_overlapping_attach_rejected(self):
+        tree = PartitionTree(partition_id=1)
+        tree.attach(100, KeyRange(0, 50), "seg-a")
+        with pytest.raises(ValueError):
+            tree.attach(101, KeyRange(40, 60), "seg-b")
+
+    def test_detach(self):
+        tree = PartitionTree(partition_id=1)
+        tree.attach(100, KeyRange(0, 50), "seg-a")
+        tree.detach(100)
+        assert tree.find(10) is None
+        with pytest.raises(KeyError):
+            tree.detach(100)
+
+    def test_find_range_prunes_segments(self):
+        tree = PartitionTree(partition_id=1)
+        tree.attach(1, KeyRange(0, 10), "a")
+        tree.attach(2, KeyRange(10, 20), "b")
+        tree.attach(3, KeyRange(20, 30), "c")
+        assert tree.find_range(KeyRange(5, 15)) == ["a", "b"]
+        assert tree.find_range(KeyRange(25, 99)) == ["c"]
+
+    def test_forwarding_pointer_lifecycle(self):
+        tree = PartitionTree(partition_id=1)
+        tree.attach(100, KeyRange(0, 50), "seg-a")
+        tree.forward(100, target_node_id=7)
+        found = tree.find(10)
+        assert isinstance(found, Forwarding)
+        assert found.target_node_id == 7
+        tree.retire_forwarding(100)
+        assert tree.find(10) is None
+
+    def test_retire_nonforwarded_rejected(self):
+        tree = PartitionTree(partition_id=1)
+        tree.attach(100, KeyRange(0, 50), "seg-a")
+        with pytest.raises(KeyError):
+            tree.retire_forwarding(100)
+
+    def test_covered_range(self):
+        tree = PartitionTree(partition_id=1)
+        assert tree.covered_range() is None
+        tree.attach(1, KeyRange(10, 20), "a")
+        tree.attach(2, KeyRange(20, 40), "b")
+        hull = tree.covered_range()
+        assert (hull.low, hull.high) == (10, 40)
+
+    def test_range_of(self):
+        tree = PartitionTree(partition_id=1)
+        tree.attach(1, KeyRange(10, 20), "a")
+        assert tree.range_of(1) == KeyRange(10, 20)

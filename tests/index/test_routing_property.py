@@ -1,0 +1,115 @@
+"""Model-based tests: the global partition table and partition tree
+against dict/interval reference models under random operation streams."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import (
+    GlobalPartitionTable,
+    KeyRange,
+    PartitionLocation,
+    PartitionTree,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    boundaries=st.lists(
+        st.integers(min_value=1, max_value=999),
+        min_size=1, max_size=8, unique=True,
+    ),
+    probes=st.lists(st.integers(min_value=0, max_value=1000), max_size=30),
+)
+def test_property_gpt_partitions_cover_exactly(boundaries, probes):
+    """Ranges built from sorted boundaries tile the key space; every
+    probe maps to exactly the partition whose interval contains it."""
+    bounds = sorted(boundaries)
+    gpt = GlobalPartitionTable()
+    edges = [None] + bounds + [None]
+    for i in range(len(edges) - 1):
+        gpt.register(
+            "t", KeyRange(edges[i], edges[i + 1]),
+            PartitionLocation(partition_id=i + 1, node_id=i % 3),
+        )
+    for key in probes:
+        location = gpt.locate("t", key)
+        index = sum(1 for b in bounds if b <= key)
+        assert location.partition_id == index + 1
+        hits = gpt.locate_range("t", KeyRange(key, key + 1))
+        assert [l.partition_id for l in hits] == [index + 1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_moves=st.integers(min_value=1, max_value=10),
+)
+def test_property_gpt_moves_keep_cover_invariant(seed, n_moves):
+    """Random splits/moves never leave a key uncovered or doubly owned."""
+    rng = random.Random(seed)
+    gpt = GlobalPartitionTable()
+    gpt.register("t", KeyRange(None, None), PartitionLocation(1, node_id=0))
+    next_pid = 2
+    for _ in range(n_moves):
+        ranges = gpt.partitions("t")
+        key_range, location = rng.choice(ranges)
+        action = rng.random()
+        if action < 0.5 and not location.is_moving:
+            low = key_range.low if key_range.low is not None else 0
+            high = key_range.high if key_range.high is not None else 1000
+            if high - low > 1:
+                split = rng.randrange(low + 1, high)
+                gpt.split("t", location.partition_id, split, next_pid,
+                          rng.randrange(4))
+                next_pid += 1
+        elif not location.is_moving:
+            gpt.begin_move("t", location.partition_id, rng.randrange(4))
+        else:
+            if rng.random() < 0.5:
+                gpt.finish_move("t", location.partition_id)
+            else:
+                gpt.abort_move("t", location.partition_id)
+    # Invariants: total cover, no overlap, candidate sets non-empty.
+    for key in range(0, 1000, 37):
+        location = gpt.locate("t", key)
+        assert location.candidate_nodes
+    entries = gpt.partitions("t")
+    for i, (r1, _l1) in enumerate(entries):
+        for r2, _l2 in entries[i + 1:]:
+            assert not r1.overlaps(r2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_segments=st.integers(min_value=1, max_value=10),
+)
+def test_property_partition_tree_find_matches_model(seed, n_segments):
+    rng = random.Random(seed)
+    tree = PartitionTree(partition_id=1)
+    bounds = sorted(rng.sample(range(1, 1000), n_segments + 1))
+    model = {}
+    for i in range(n_segments):
+        key_range = KeyRange(bounds[i], bounds[i + 1])
+        tree.attach(i + 1, key_range, f"seg-{i + 1}")
+        model[(bounds[i], bounds[i + 1])] = f"seg-{i + 1}"
+    for key in range(0, 1000, 13):
+        expected = None
+        for (low, high), seg in model.items():
+            if low <= key < high:
+                expected = seg
+        assert tree.find(key) == expected
+    # Detach a random subset; finds reflect it.
+    for segment_id in rng.sample(range(1, n_segments + 1),
+                                 rng.randint(0, n_segments)):
+        tree.detach(segment_id)
+        low, high = bounds[segment_id - 1], bounds[segment_id]
+        del model[(low, high)]
+    for key in range(0, 1000, 13):
+        expected = None
+        for (low, high), seg in model.items():
+            if low <= key < high:
+                expected = seg
+        assert tree.find(key) == expected

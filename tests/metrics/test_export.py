@@ -1,0 +1,59 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.metrics.export import rows_to_csv, series_to_csv
+
+
+def test_series_to_csv_roundtrip(tmp_path):
+    path = series_to_csv(
+        tmp_path / "out.csv",
+        {
+            "qps": [(0.0, 10.0), (10.0, 12.0)],
+            "ms": [(0.0, None), (10.0, 5.5)],
+        },
+    )
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["t_seconds", "qps", "ms"]
+    assert rows[1] == ["0.0", "10.0", ""]
+    assert rows[2] == ["10.0", "12.0", "5.5"]
+
+
+def test_series_to_csv_validation(tmp_path):
+    with pytest.raises(ValueError):
+        series_to_csv(tmp_path / "x.csv", {})
+    with pytest.raises(ValueError):
+        series_to_csv(tmp_path / "x.csv", {
+            "a": [(0.0, 1.0)],
+            "b": [(5.0, 1.0)],
+        })
+
+
+def test_series_to_csv_creates_directories(tmp_path):
+    path = series_to_csv(tmp_path / "deep" / "dir" / "out.csv",
+                         {"a": [(0.0, 1.0)]})
+    assert path.exists()
+
+
+def test_rows_to_csv(tmp_path):
+    path = rows_to_csv(tmp_path / "rows.csv", ["x", "y"],
+                       [[1, 2], [3, 4]])
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+
+def test_fig6_result_to_csv(tmp_path):
+    """End-to-end: a tiny fig6 run exports its panels."""
+    from tests.experiments.test_experiments_smoke import tiny_fig6_config
+    from repro.experiments import run_fig6
+
+    result = run_fig6("physiological", tiny_fig6_config())
+    path = result.to_csv(tmp_path / "fig6.csv")
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["t_seconds", "qps", "resp_ms", "watts", "J/query"]
+    assert len(rows) == 1 + len(result.qps)

@@ -1,0 +1,295 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_starts_at_initial_time():
+    env = Environment(initial_time=42.5)
+    assert env.now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc():
+        yield env.timeout(3.0)
+        seen.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert seen == [3.0]
+
+
+def test_timeout_value_is_delivered():
+    env = Environment()
+    got = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="payload")
+        got.append(value)
+
+    env.process(proc())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeouts_fire_in_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(5, "b"))
+    env.process(proc(2, "a"))
+    env.process(proc(9, "c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=25)
+    assert env.now == 25
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_run_until_process_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2)
+        return "done"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "done"
+    assert env.now == 2
+
+
+def test_run_until_event_never_triggers_raises():
+    env = Environment()
+    orphan = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=orphan)
+
+
+def test_process_waits_for_subprocess():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(4)
+        log.append(("child", env.now))
+        return 99
+
+    def parent():
+        value = yield env.process(child())
+        log.append(("parent", env.now, value))
+
+    env.process(parent())
+    env.run()
+    assert log == [("child", 4), ("parent", 4, 99)]
+
+
+def test_yield_from_composition():
+    env = Environment()
+    trace = []
+
+    def inner():
+        yield env.timeout(1)
+        trace.append(env.now)
+        return "inner-result"
+
+    def outer():
+        result = yield from inner()
+        trace.append(result)
+
+    env.process(outer())
+    env.run()
+    assert trace == [1, "inner-result"]
+
+
+def test_process_failure_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def crasher():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def waiter():
+        try:
+            yield env.process(crasher())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unwaited_process_failure_escalates():
+    env = Environment()
+
+    def crasher():
+        yield env.timeout(1)
+        raise ValueError("nobody listens")
+
+    env.process(crasher())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    signal = env.event()
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append((env.now, value))
+
+    def firer():
+        yield env.timeout(7)
+        signal.succeed("fired")
+
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert got == [(7, "fired")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError())
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_event_value_unavailable_before_trigger():
+    env = Environment()
+    with pytest.raises(RuntimeError):
+        _ = env.event().value
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    signal = env.event()
+    got = []
+
+    def firer():
+        yield env.timeout(1)
+        signal.succeed("early")
+
+    def late_waiter():
+        yield env.timeout(5)
+        value = yield signal
+        got.append((env.now, value))
+
+    env.process(firer())
+    env.process(late_waiter())
+    env.run()
+    assert got == [(5, "early")]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+
+    env.process(proc())
+    assert env.peek() == 0  # process bootstrap event
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_process_is_alive_flag():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5)
+
+    handle = env.process(proc())
+    assert handle.is_alive
+    env.run()
+    assert not handle.is_alive
+
+
+def test_nested_processes_three_deep():
+    env = Environment()
+
+    def level3():
+        yield env.timeout(1)
+        return 3
+
+    def level2():
+        value = yield env.process(level3())
+        return value + 10
+
+    def level1():
+        value = yield env.process(level2())
+        return value + 100
+
+    result = env.run(until=env.process(level1()))
+    assert result == 113

@@ -1,0 +1,93 @@
+"""Unit tests for composite events (AllOf / AnyOf)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_allof_waits_for_all_children():
+    env = Environment()
+    done = []
+
+    def proc():
+        t1 = env.timeout(2, value="a")
+        t2 = env.timeout(5, value="b")
+        results = yield AllOf(env, [t1, t2])
+        done.append((env.now, sorted(results.values())))
+
+    env.process(proc())
+    env.run()
+    assert done == [(5, ["a", "b"])]
+
+
+def test_allof_empty_triggers_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        results = yield AllOf(env, [])
+        done.append((env.now, results))
+
+    env.process(proc())
+    env.run()
+    assert done == [(0, {})]
+
+
+def test_anyof_triggers_on_first_child():
+    env = Environment()
+    done = []
+
+    def proc():
+        t1 = env.timeout(2, value="fast")
+        t2 = env.timeout(50, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        done.append((env.now, list(results.values())))
+
+    env.process(proc())
+    env.run(until=100)
+    assert done == [(2, ["fast"])]
+
+
+def test_allof_fails_if_child_fails():
+    env = Environment()
+    caught = []
+
+    def crasher():
+        yield env.timeout(1)
+        raise RuntimeError("child died")
+
+    def proc():
+        child = env.process(crasher())
+        try:
+            yield AllOf(env, [child, env.timeout(10)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    env.run()
+    assert caught == ["child died"]
+
+
+def test_allof_mixed_environment_rejected():
+    env1 = Environment()
+    env2 = Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env1.timeout(1), env2.timeout(1)])
+
+
+def test_allof_of_processes_collects_return_values():
+    env = Environment()
+    done = []
+
+    def worker(delay, result):
+        yield env.timeout(delay)
+        return result
+
+    def proc():
+        children = [env.process(worker(i + 1, i * 10)) for i in range(3)]
+        results = yield AllOf(env, children)
+        done.append(sorted(results.values()))
+
+    env.process(proc())
+    env.run()
+    assert done == [[0, 10, 20]]

@@ -1,0 +1,240 @@
+"""Unit tests for Resource, Store, and utilisation tracking."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_single_unit_resource_serialises_access():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    spans = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        start = env.now
+        yield env.timeout(10)
+        res.release(req)
+        spans.append((tag, start, env.now))
+
+    env.process(user("a"))
+    env.process(user("b"))
+    env.run()
+    assert spans == [("a", 0, 10), ("b", 10, 20)]
+
+
+def test_multi_unit_resource_allows_parallelism():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    finishes = []
+
+    def user(tag):
+        yield from res.serve(10)
+        finishes.append((tag, env.now))
+
+    for tag in range(4):
+        env.process(user(tag))
+    env.run()
+    assert finishes == [(0, 10), (1, 10), (2, 20), (3, 20)]
+
+
+def test_priority_request_jumps_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        yield from res.serve(5)
+
+    def normal():
+        yield env.timeout(1)
+        yield from res.serve(1)
+        order.append("normal")
+
+    def urgent():
+        yield env.timeout(2)
+        yield from res.serve(1, priority=-10)
+        order.append("urgent")
+
+    env.process(holder())
+    env.process(normal())
+    env.process(urgent())
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_release_is_idempotent():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc():
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)
+
+    env.process(proc())
+    env.run()
+    assert res.in_use == 0
+
+
+def test_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    served = []
+
+    def holder():
+        yield from res.serve(10)
+
+    def impatient():
+        yield env.timeout(1)
+        req = res.request()
+        # Give up without ever being granted.
+        res.release(req)
+        yield env.timeout(0)
+
+    def patient():
+        yield env.timeout(2)
+        yield from res.serve(1)
+        served.append(env.now)
+
+    env.process(holder())
+    env.process(impatient())
+    env.process(patient())
+    env.run()
+    assert served == [11]
+
+
+def test_request_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    done = []
+
+    def proc():
+        with res.request() as req:
+            yield req
+            yield env.timeout(3)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [3]
+    assert res.in_use == 0
+
+
+def test_utilization_integral_tracks_busy_time():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        yield env.timeout(5)
+        yield from res.serve(10)
+
+    env.process(user())
+    env.run(until=20)
+    # Busy from t=5 to t=15 -> 10 busy unit-seconds.
+    assert res.tracker.integral(20) == pytest.approx(10.0)
+
+
+def test_utilization_since_checkpoint():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def user(start, dur):
+        yield env.timeout(start)
+        yield from res.serve(dur)
+
+    env.process(user(0, 10))
+    env.process(user(0, 10))
+    env.run(until=10)
+    # Both units busy for the whole window -> utilisation 1.0.
+    assert res.tracker.utilization_since(0, 0.0) == pytest.approx(1.0)
+
+
+def test_grant_count():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        yield from res.serve(1)
+
+    for _ in range(7):
+        env.process(user())
+    env.run()
+    assert res.grant_count == 7
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(9)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(9, "late")]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(("put-a", env.now))
+        yield store.put("b")
+        times.append(("put-b", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        item = yield store.get()
+        times.append((f"got-{item}", env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put-a", 0) in times
+    assert ("put-b", 5) in times
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)

@@ -1,0 +1,90 @@
+"""Tests for schemas and record versions."""
+
+import pytest
+
+from repro.storage import Column, RecordVersion, Schema
+from repro.storage.record import VERSION_HEADER_BYTES
+
+
+def order_schema():
+    return Schema(
+        columns=[
+            Column("o_id", "int"),
+            Column("o_w_id", "int"),
+            Column("o_carrier", "str", width=16),
+            Column("o_amount", "float"),
+        ],
+        key=("o_w_id", "o_id"),
+    )
+
+
+def test_column_validation():
+    with pytest.raises(ValueError):
+        Column("bad", "blob")
+    with pytest.raises(ValueError):
+        Column("s", "str", width=0)
+
+
+def test_schema_validation():
+    with pytest.raises(ValueError):
+        Schema(columns=[], key=("x",))
+    with pytest.raises(ValueError):
+        Schema(columns=[Column("a")], key=())
+    with pytest.raises(ValueError):
+        Schema(columns=[Column("a")], key=("b",))
+    with pytest.raises(ValueError):
+        Schema(columns=[Column("a"), Column("a")], key=("a",))
+
+
+def test_composite_key_extraction():
+    schema = order_schema()
+    assert schema.key_of((7, 3, "x", 1.5)) == (3, 7)
+
+
+def test_single_key_is_scalar():
+    schema = Schema(columns=[Column("id"), Column("v")], key=("id",))
+    assert schema.key_of((42, 0)) == 42
+
+
+def test_sizeof_counts_columns():
+    schema = order_schema()
+    size = schema.sizeof((1, 2, "abcd", 3.0))
+    assert size == 8 + 8 + (2 + 4) + 8
+
+
+def test_sizeof_caps_strings_at_declared_width():
+    schema = Schema(columns=[Column("s", "str", width=4)], key=("s",))
+    assert schema.sizeof(("abcdefgh",)) == 2 + 4
+
+
+def test_sizeof_wrong_arity():
+    schema = order_schema()
+    with pytest.raises(ValueError):
+        schema.sizeof((1, 2))
+
+
+def test_validate_types():
+    schema = order_schema()
+    schema.validate((1, 2, "ok", 3.5))
+    with pytest.raises(TypeError):
+        schema.validate(("1", 2, "ok", 3.5))
+    with pytest.raises(TypeError):
+        schema.validate((1, 2, 99, 3.5))
+    schema.validate((1, 2, "ok", 3))  # int acceptable as float
+
+
+def test_project():
+    schema = order_schema()
+    assert schema.project((1, 2, "c", 4.0), ["o_carrier", "o_id"]) == ("c", 1)
+    with pytest.raises(KeyError):
+        schema.project((1, 2, "c", 4.0), ["nope"])
+
+
+def test_record_version_make():
+    schema = order_schema()
+    version = RecordVersion.make(schema, (5, 1, "x", 9.0), created_by=77)
+    assert version.key == (1, 5)
+    assert version.created_by == 77
+    assert version.created_ts is None
+    assert version.deleted_by is None
+    assert version.size_bytes == schema.sizeof((5, 1, "x", 9.0)) + VERSION_HEADER_BYTES

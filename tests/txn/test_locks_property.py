@@ -1,0 +1,107 @@
+"""Property tests of the lock manager: mutual exclusion, grant
+conservation, and liveness under random schedules."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.txn import LockManager, LockMode, LockTimeoutError
+from repro.txn.locks import compatible
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_txns=st.integers(min_value=2, max_value=8),
+    n_resources=st.integers(min_value=1, max_value=4),
+)
+def test_property_mutual_exclusion_and_liveness(seed, n_txns, n_resources):
+    rng = random.Random(seed)
+    env = Environment()
+    lm = LockManager(env, default_timeout=5.0)
+    #: resource -> set of (txn, mode) currently inside the "critical
+    #: section"; checked for compatibility at every entry.
+    inside: dict[str, list[tuple[int, LockMode]]] = {
+        f"r{i}": [] for i in range(n_resources)
+    }
+    violations = []
+    completed = [0]
+
+    def txn_proc(txn_id):
+        for _ in range(rng.randint(1, 6)):
+            resource = f"r{rng.randrange(n_resources)}"
+            mode = rng.choice([LockMode.S, LockMode.S, LockMode.X])
+            try:
+                yield from lm.acquire(txn_id, resource, mode)
+            except LockTimeoutError:
+                lm.release_all(txn_id)
+                yield env.timeout(rng.random() * 0.1)
+                continue
+            # Entering the critical section: check compatibility with
+            # everyone already inside.
+            for other_txn, other_mode in inside[resource]:
+                if other_txn != txn_id and not compatible(other_mode, mode):
+                    violations.append((resource, txn_id, other_txn))
+            entry = (txn_id, mode)
+            inside[resource].append(entry)
+            yield env.timeout(rng.random() * 0.2)
+            inside[resource].remove(entry)
+            lm.release_all(txn_id)
+        completed[0] += 1
+
+    procs = [env.process(txn_proc(i + 1)) for i in range(n_txns)]
+    for proc in procs:
+        env.run(until=proc)
+    assert violations == []
+    assert completed[0] == n_txns
+    # Everything released: the lock table is empty.
+    for i in range(n_resources):
+        assert lm.holders(f"r{i}") == {}
+        assert lm.queue_length(f"r{i}") == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_hierarchical_locking_no_granule_conflicts(seed):
+    """Record-level writers and a partition-level reader (the migration
+    pattern) interleave without ever overlapping incompatibly."""
+    rng = random.Random(seed)
+    env = Environment()
+    lm = LockManager(env, default_timeout=10.0)
+    partition_locked = [False]
+    writers_inside = [0]
+    violations = []
+
+    def writer(txn_id):
+        for _ in range(3):
+            key = rng.randrange(5)
+            try:
+                yield from lm.lock_record(txn_id, "t", 1, key, LockMode.X)
+            except LockTimeoutError:
+                lm.release_all(txn_id)
+                continue
+            if partition_locked[0]:
+                violations.append(("writer-during-S", txn_id))
+            writers_inside[0] += 1
+            yield env.timeout(rng.random() * 0.1)
+            writers_inside[0] -= 1
+            lm.release_all(txn_id)
+            yield env.timeout(rng.random() * 0.05)
+
+    def mover():
+        yield env.timeout(rng.random() * 0.2)
+        yield from lm.lock_partition(99, "t", 1, LockMode.S)
+        if writers_inside[0]:
+            violations.append(("S-during-writers", writers_inside[0]))
+        partition_locked[0] = True
+        yield env.timeout(0.15)
+        partition_locked[0] = False
+        lm.release_all(99)
+
+    procs = [env.process(writer(i + 1)) for i in range(3)]
+    procs.append(env.process(mover()))
+    for proc in procs:
+        env.run(until=proc)
+    assert violations == []

