@@ -1,0 +1,51 @@
+"""Bench: Fig. 9 (extension) — failover vs. replication factor.
+
+A data node is crash-killed mid-TPC-C.  With k >= 2 every partition
+promotes a replica automatically and no acknowledged commit is lost;
+with k = 1 the dead node's partitions go unavailable until it
+restarts.  Reported: throughput dip, detection/failover/recovery
+times, and retry economics per k.
+"""
+
+import pytest
+
+from repro.experiments import run_fig9
+from repro.experiments.fig9_failover import quick_fig9_config
+
+
+def test_fig9_failover(benchmark, bench_scale):
+    config = None if bench_scale == "full" else quick_fig9_config()
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"config": config}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    k1, k2 = result.runs[1], result.runs[2]
+
+    # k=2: automatic promotion, zero lost committed transactions.
+    assert k2.promotions > 0
+    assert k2.unavailable_partitions == 0
+    assert k2.lost_commits == 0
+    assert k2.committed_orders > 0
+    assert k2.detection_seconds is not None
+    assert k2.failover_seconds is not None
+
+    # k=1: no replicas to promote — graceful unavailability instead,
+    # clients exhaust bounded retries cleanly (the run terminates).
+    assert k1.promotions == 0
+    assert k1.unavailable_partitions > 0
+    assert k1.lost_commits == 0
+
+    # More replicas, more shipping work.
+    if 3 in result.runs:
+        assert result.runs[3].replicas_seeded > k2.replicas_seeded
+        assert result.runs[3].lost_commits == 0
+
+    for k in sorted(result.runs):
+        run = result.runs[k]
+        benchmark.extra_info[f"k{k}_dip"] = round(run.dip_fraction, 3)
+        benchmark.extra_info[f"k{k}_lost"] = run.lost_commits
+        if run.failover_seconds is not None:
+            benchmark.extra_info[f"k{k}_failover_s"] = round(
+                run.failover_seconds, 1)

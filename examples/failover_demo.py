@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Failover: kill a data node mid-workload and watch the cluster heal.
+
+A small key-value table lives on node 1, protected at replication
+factor k=2: each partition keeps a synchronous replica on another
+node's log disk (rack-aware placement), fed by shipping the WAL tail
+at every commit.  A fault injector crash-kills node 1 mid-run; the
+failure detector notices the missed heartbeats, and the failover
+coordinator promotes the replicas — replaying the shipped log through
+the ordinary REDO path into partition shells on the holders — then
+re-replicates to get back to k=2.  Every row committed before the
+crash (and the writes committed after it) is still readable.
+
+Run:  python examples/failover_demo.py     (a few seconds)
+"""
+
+from repro import Cluster, Column, Environment, Schema
+from repro.ha import (
+    FailoverCoordinator,
+    FailureDetector,
+    FaultInjector,
+    PlacementPolicy,
+    ReplicationManager,
+)
+
+
+def main():
+    env = Environment(seed=1)
+    cluster = Cluster(
+        env, node_count=4, initially_active=4,
+        buffer_pages_per_node=256, segment_max_pages=16, page_bytes=2048,
+    )
+    schema = Schema(
+        [Column("id"), Column("balance", "str", width=24)], key=("id",)
+    )
+    cluster.master.create_table("accounts", schema, owner=cluster.workers[1])
+    cluster.monitor.interval = 1.0
+
+    replication = ReplicationManager(
+        cluster, k=2, policy=PlacementPolicy(cluster, rack_width=2)
+    )
+    coordinator = FailoverCoordinator(cluster, replication)
+    detector = FailureDetector(cluster, coordinator, miss_threshold=3)
+    injector = FaultInjector(cluster)
+
+    def commit_rows(lo, hi, label):
+        txn = cluster.txns.begin()
+        for i in range(lo, hi):
+            yield from cluster.master.insert("accounts", (i, label), txn)
+        yield from cluster.txns.commit(txn)
+        print(f"[{env.now:7.3f}s] committed rows {lo}..{hi - 1} ({label})")
+
+    def scenario():
+        yield from commit_rows(0, 50, "pre-seed")
+
+        # Protect: seed a replica of every partition on another node.
+        yield from replication.protect_all()
+        seeded = sum(len(rs.replicas)
+                     for rs in cluster.catalog.replica_sets.values())
+        print(f"[{env.now:7.3f}s] replication on: {seeded} replicas seeded")
+
+        # These commits ship their log tail to the replicas.
+        yield from commit_rows(50, 80, "replicated")
+
+        # Schedule the murder of node 1 and let monitoring run.
+        injector.crash_at(env.now + 2.0, 1)
+        env.process(cluster.monitor.run())
+        env.process(detector.run())
+        env.process(injector.run())
+        yield env.timeout(12.0)  # crash + detection + promotion happen here
+
+        for event in coordinator.events:
+            where = ("" if event.partition_id is None
+                     else f" partition {event.partition_id}")
+            print(f"[{event.time:7.3f}s] {event.kind}{where} "
+                  f"(node {event.node_id}) {event.detail}")
+        for rec in coordinator.recoveries:
+            print(f"[{env.now:7.3f}s] node {rec['node_id']} handled in "
+                  f"{rec['seconds']:.3f}s: {rec['promoted']} promoted, "
+                  f"{rec['unavailable']} unavailable")
+
+        # Every committed row is still there, served by the promoted
+        # replicas — and the cluster takes new writes.
+        txn = cluster.txns.begin()
+        alive = 0
+        for i in range(80):
+            row = yield from cluster.master.read("accounts", i, txn)
+            alive += row is not None
+        yield from cluster.txns.commit(txn)
+        print(f"[{env.now:7.3f}s] {alive}/80 committed rows readable "
+              f"after failover")
+        yield from commit_rows(80, 90, "post-failover")
+        assert alive == 80
+
+    env.run(until=env.process(scenario()))
+    print("\nPromotions:")
+    for p in coordinator.promotions:
+        print(f"  partition {p['partition_id']}: node {p['from_node']} -> "
+              f"{p['to_node']}, replayed {p['replayed']} records "
+              f"in {p['seconds']:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

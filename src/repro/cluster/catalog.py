@@ -213,7 +213,9 @@ class Partition:
 
 
 class Catalog:
-    """Master-side registry of tables and id allocation."""
+    """Master-side registry of tables, id allocation, and replica
+    placement metadata (the HA subsystem's replica sets live here so
+    failover can consult one authority)."""
 
     def __init__(self, segment_max_pages: int, page_bytes: int):
         self.segment_max_pages = segment_max_pages
@@ -221,6 +223,8 @@ class Catalog:
         self.tables: dict[str, TableDef] = {}
         self._partition_ids = itertools.count(1)
         self._segment_ids = itertools.count(1)
+        #: partition_id -> ReplicaSet (see repro.ha.replication).
+        self.replica_sets: dict[int, typing.Any] = {}
 
     def define_table(self, name: str, schema: Schema) -> TableDef:
         if name in self.tables:
@@ -242,3 +246,32 @@ class Catalog:
             segment_max_pages or self.segment_max_pages, self.page_bytes,
             segment_id_allocator=lambda: next(self._segment_ids),
         )
+
+    def rebuild_partition(self, partition_id: int, table: str | TableDef,
+                          node_id: int,
+                          segment_max_pages: int | None = None) -> Partition:
+        """An empty partition shell carrying an *existing* id, for
+        replica promotion: the promoted copy keeps the dead partition's
+        identity so the global partition table and replica set need
+        only repoint, never renumber."""
+        table_def = table if isinstance(table, TableDef) else self.table(table)
+        return Partition(
+            partition_id, table_def, node_id,
+            segment_max_pages or self.segment_max_pages, self.page_bytes,
+            segment_id_allocator=lambda: next(self._segment_ids),
+        )
+
+    # -- replica placement metadata ----------------------------------------
+
+    def register_replica_set(self, replica_set: typing.Any) -> None:
+        self.replica_sets[replica_set.partition_id] = replica_set
+
+    def replica_set_for(self, partition_id: int) -> typing.Any | None:
+        return self.replica_sets.get(partition_id)
+
+    def replica_sets_holding_on(self, node_id: int) -> list[typing.Any]:
+        """Replica sets with at least one replica hosted on ``node_id``."""
+        return [
+            rs for rs in self.replica_sets.values()
+            if any(r.holder_node_id == node_id for r in rs.replicas)
+        ]

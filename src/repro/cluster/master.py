@@ -32,6 +32,19 @@ class NoOwnerFoundError(RuntimeError):
     """No candidate node could serve the key (routing inconsistency)."""
 
 
+class NodeDownError(LookupError):
+    """Every candidate owner of the key is currently unreachable
+    (crashed, booting, or network-partitioned).  Subclasses LookupError
+    so clients treat it as transient and retry — failover re-routes the
+    partition in the meantime."""
+
+
+class PartitionUnavailableError(LookupError):
+    """The partition lost its only copy (replication factor 1 and the
+    owner died).  Transient from the client's point of view — retries
+    are bounded and exhaust cleanly; a node restart restores service."""
+
+
 class MasterNode:
     """Coordinator role layered on top of the first worker."""
 
@@ -95,14 +108,28 @@ class MasterNode:
         following dual pointers and forwarding pointers."""
         from repro.cluster.worker import RecordNotHereError
 
+        if txn is not None:
+            # A transaction aborted underneath us (e.g. its node was
+            # crash-killed) must stop issuing work — otherwise it could
+            # re-acquire locks after release_all and strand waiters.
+            txn.require_active()
         location = self.gpt.locate(table, key)
+        if not location.available:
+            raise PartitionUnavailableError(
+                f"partition {location.partition_id} of {table!r} has no "
+                f"live copy"
+            )
         tried: set[int] = set()
+        dead: set[int] = set()
         queue = [self.cluster.worker(n) for n in location.candidate_nodes]
         while queue:
             worker = queue.pop(0)
             if worker.node_id in tried:
                 continue
             tried.add(worker.node_id)
+            if not worker.is_serving:
+                dead.add(worker.node_id)
+                continue
             yield from self._hop(worker, breakdown, txn)
             # Prefer the registered partition (covers inserts into key
             # regions with no segment yet); fall back to a tree search
@@ -120,6 +147,10 @@ class MasterNode:
                 queue.append(self.cluster.worker(moved.target_node_id))
             except RecordNotHereError:
                 continue
+        if dead:
+            raise NodeDownError(
+                f"owner(s) {sorted(dead)} of {table!r} key {key!r} are down"
+            )
         raise NoOwnerFoundError(f"no node could serve {table!r} key {key!r}")
 
     def read(self, table: str, key: typing.Any, txn: Transaction,
@@ -239,18 +270,31 @@ class MasterNode:
         from repro.cluster.worker import RecordNotHereError
 
         key_range = KeyRange(lo, hi)
+        if txn is not None:
+            txn.require_active()
         schema = self.catalog.table(table).schema
         by_key: dict[typing.Any, tuple] = {}
         for location in self.gpt.locate_range(table, key_range):
+            if not location.available:
+                raise PartitionUnavailableError(
+                    f"partition {location.partition_id} of {table!r} has "
+                    f"no live copy"
+                )
             # During a move, rows of this range may be split between the
             # old and new node: visit every candidate and merge by key.
             queue = [self.cluster.worker(n) for n in location.candidate_nodes]
             tried: set[int] = set()
+            served = 0
+            dead: set[int] = set()
             while queue:
                 worker = queue.pop(0)
                 if worker.node_id in tried:
                     continue
                 tried.add(worker.node_id)
+                if not worker.is_serving:
+                    dead.add(worker.node_id)
+                    continue
+                served += 1
                 yield from self._hop(worker, breakdown, txn)
                 partitions = [
                     p for p in worker.partitions_for_table(table)
@@ -269,6 +313,10 @@ class MasterNode:
                         continue
                     for row in part_rows:
                         by_key.setdefault(schema.key_of(row), row)
+            if dead and not served:
+                raise NodeDownError(
+                    f"owner(s) {sorted(dead)} of {table!r} range are down"
+                )
         rows = [row for _key, row in sorted(by_key.items())]
         return rows if limit is None else rows[:limit]
 

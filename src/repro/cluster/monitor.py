@@ -72,6 +72,10 @@ class ClusterMonitor:
         self.history_limit = history_limit
         self.history: list[NodeSample] = []
         self._checkpoints: dict[int, _Checkpoint] = {}
+        #: node_id -> sim time of the last successful report.  A node
+        #: that stops reporting (crash, severed NIC, removal) simply
+        #: goes stale here — the failure detector reads this map.
+        self.heartbeats: dict[int, float] = {}
 
     def run(self):
         """Generator: the periodic monitoring loop (never returns)."""
@@ -80,16 +84,42 @@ class ClusterMonitor:
             self.collect()
 
     def collect(self) -> list[NodeSample]:
-        """Take one sample of every active worker right now."""
+        """Take one sample of every reachable worker right now.
+
+        Workers that are offline, crashed, network-partitioned, or
+        removed from the cluster mid-flight are skipped rather than
+        assumed alive: a monitoring round must never die because a node
+        did.
+        """
         samples = []
-        for worker in self.workers:
-            if not worker.is_active:
+        for worker in list(self.workers):
+            if not self._reachable(worker):
                 continue
-            samples.append(self.sample_node(worker))
+            try:
+                sample = self.sample_node(worker)
+            except Exception:
+                # A node can fail between the reachability check and
+                # the sample (e.g. its disk died mid-report); treat it
+                # as a missed heartbeat, not a monitor crash.
+                continue
+            samples.append(sample)
+            self.heartbeats[worker.node_id] = self.env.now
         self.history.extend(samples)
         if len(self.history) > self.history_limit:
             del self.history[: len(self.history) - self.history_limit]
         return samples
+
+    @staticmethod
+    def _reachable(worker: "WorkerNode") -> bool:
+        if not worker.is_active:
+            return False
+        port = getattr(worker, "port", None)
+        if port is not None and getattr(port, "severed", False):
+            return False
+        return True
+
+    def last_heartbeat(self, node_id: int) -> float | None:
+        return self.heartbeats.get(node_id)
 
     def sample_node(self, worker: "WorkerNode") -> NodeSample:
         now = self.env.now

@@ -113,6 +113,10 @@ class WorkerNode:
         #: Per-partition activity counters for the monitor (Sect. 3.4).
         self.partition_page_requests: dict[int, int] = {}
         self.queries_executed = 0
+        #: Optional tap ``(worker, partition, record)`` invoked after
+        #: every data log record is appended — the replication manager
+        #: uses it to buffer the record for commit-time shipping.
+        self.on_log_write: typing.Callable | None = None
 
     @staticmethod
     def _assign_disk_roles(disks: typing.Sequence[Disk]) -> tuple[list[Disk], Disk]:
@@ -146,6 +150,19 @@ class WorkerNode:
     def is_active(self) -> bool:
         return self.machine.is_active
 
+    @property
+    def has_failed_data_disk(self) -> bool:
+        return any(d.failed for d in self.disk_space.disks)
+
+    @property
+    def is_serving(self) -> bool:
+        """Whether this node can currently answer routed requests: the
+        machine is up, its NIC is attached, and its data storage works.
+        The router treats a non-serving candidate as down."""
+        return (self.machine.is_active
+                and not self.port.severed
+                and not self.has_failed_data_disk)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<WorkerNode {self.node_id} partitions={len(self.partitions)}>"
 
@@ -171,6 +188,33 @@ class WorkerNode:
         """Place a freshly created segment's extent if it has no home."""
         if segment.segment_id not in self.directory:
             self.host_segment(segment)
+
+    def strip_partition(self, partition_id: int) -> "Partition | None":
+        """Forget a partition after its ownership was promoted away
+        (this node failed; the copy that lives here is now garbage).
+        Tolerates partial state — the node may have died mid-operation."""
+        partition = self.partitions.pop(partition_id, None)
+        if partition is None:
+            return None
+        for segment in list(partition.segments.values()):
+            if segment.segment_id in self.directory:
+                host, _disk = self.directory.location(segment.segment_id)
+                if host is self:
+                    self.directory.unregister(segment.segment_id)
+            try:
+                self.disk_space.evict(segment)
+            except KeyError:
+                pass
+            for page in segment.pages:
+                frame = self.buffer._frames.get(page.page_id)
+                if frame is not None and frame.pins > 0:
+                    # A reader died mid-pin; the frame ages out, but its
+                    # extent is gone so it must never be written back.
+                    frame.dirty = False
+                else:
+                    self.buffer.discard(page.page_id)
+                self._page_segment.pop(page.page_id, None)
+        return partition
 
     def unhost_segment(self, segment: Segment) -> None:
         self.disk_space.evict(segment)
@@ -486,6 +530,8 @@ class WorkerNode:
             nbytes = 64
         txn.note_log(self.wal)
         self.wal.append(txn.txn_id, kind, payload, nbytes)
+        if self.on_log_write is not None:
+            self.on_log_write(self, partition, self.wal.records[-1])
 
     def commit(self, txn: Transaction, breakdown: CostBreakdown | None = None,
                cc: str = "mvcc", priority: int = 0):

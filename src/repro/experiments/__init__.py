@@ -10,10 +10,16 @@ from repro.experiments.fig3_mvcc import run_fig3
 from repro.experiments.fig6_schemes import Fig6Config, run_fig6, run_fig6_all
 from repro.experiments.fig7_breakdown import run_fig7
 from repro.experiments.fig8_helper import run_fig8
+from repro.experiments.fig9_failover import (
+    Fig9Config,
+    run_fig9,
+    run_fig9_single,
+)
 from repro.experiments.scale_in import ScaleInConfig, run_scale_in
 
 __all__ = [
     "Fig6Config",
+    "Fig9Config",
     "run_fig1",
     "run_fig2",
     "run_fig3",
@@ -21,6 +27,8 @@ __all__ = [
     "run_fig6_all",
     "run_fig7",
     "run_fig8",
+    "run_fig9",
+    "run_fig9_single",
     "run_power_validation",
     "run_scale_in",
     "ScaleInConfig",

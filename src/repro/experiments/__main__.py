@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments fig6 --scheme physiological
     python -m repro.experiments fig7         # runtime breakdown
     python -m repro.experiments fig8         # helper nodes
+    python -m repro.experiments fig9         # extension: failover vs k
     python -m repro.experiments scale-in     # extension: scale-in protocol
     python -m repro.experiments all          # everything (long)
 
@@ -98,6 +99,14 @@ def run_fig8_cmd(args) -> str:
     return run_fig8(config).to_table()
 
 
+def run_fig9_cmd(args) -> str:
+    from repro.experiments import run_fig9
+    from repro.experiments.fig9_failover import quick_fig9_config
+
+    config = quick_fig9_config() if args.quick else None
+    return run_fig9(config).to_table()
+
+
 def run_scale_in_cmd(args) -> str:
     from repro.experiments import run_scale_in
 
@@ -112,6 +121,7 @@ COMMANDS = {
     "fig6": run_fig6_cmd,
     "fig7": run_fig7_cmd,
     "fig8": run_fig8_cmd,
+    "fig9": run_fig9_cmd,
     "scale-in": run_scale_in_cmd,
 }
 

@@ -1,0 +1,337 @@
+"""Fig. 9 (extension) — failover under replication factors k = 1, 2, 3.
+
+Not a figure of the source paper: WattDB's evaluation powers nodes off
+deliberately and never kills one mid-workload, but its own design
+argument — wimpy commodity nodes joining and leaving the cluster —
+makes node loss the expected case.  This experiment measures what the
+repro.ha subsystem adds: a TPC-C mix runs against partitions spread
+over two data nodes, one owner is crash-killed mid-run, and we record
+
+* the throughput dip (bucketed qps around the crash vs. the pre-crash
+  baseline),
+* the recovery time (crash -> heartbeat-staleness detection ->
+  replica promotion finished),
+* lost committed transactions (every acknowledged NewOrder's order row
+  is looked up post-run in whatever partition the global partition
+  table points at — zero losses required for k >= 2),
+* the client-side retry economics (first-try vs. retried commits,
+  exhausted retries).
+
+With k = 1 there is no replica to promote: the partition goes
+unavailable, clients exhaust their bounded retries cleanly, and
+service returns only when the node restarts.  Runs are deterministic:
+the same seed yields the same crash schedule and the same metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.cluster.cluster import Cluster
+from repro.ha import (
+    FailoverCoordinator,
+    FailureDetector,
+    FaultInjector,
+    PlacementPolicy,
+    ReplicationManager,
+)
+from repro.metrics.report import render_table
+from repro.sim.engine import Environment
+from repro.workload import (
+    TpccConfig,
+    TpccContext,
+    WorkloadDriver,
+    load_tpcc,
+    start_vacuum_daemon,
+)
+
+
+@dataclasses.dataclass
+class Fig9Config:
+    """Failover experiment parameters."""
+
+    tpcc: TpccConfig = dataclasses.field(default_factory=lambda: TpccConfig(
+        warehouses=6, districts_per_warehouse=4,
+        customers_per_district=20, items=200, orders_per_district=10,
+        order_lines_per_order=5,
+    ))
+    clients: int = 8
+    client_interval: float = 0.3
+    cc: str = "mvcc"
+
+    # Cluster.  All nodes active: failover needs live holders.
+    node_count: int = 5
+    #: Nodes initially owning the TPC-C data.  Deliberately excludes
+    #: the master (node 0) — the coordinator is the fixed single point.
+    data_nodes: tuple[int, ...] = (1, 2)
+    buffer_pages_per_node: int = 1024
+    segment_max_pages: int = 8
+    lock_timeout: float = 2.0
+    #: Placement sees two nodes per modelled rack.
+    rack_width: int = 2
+
+    # Replication factors to sweep.
+    replication_factors: tuple[int, ...] = (1, 2, 3)
+
+    # Failure detection.
+    monitor_interval: float = 1.0
+    miss_threshold: int = 3
+
+    # Timeline, relative to workload start (after replica seeding).
+    crash_at: float = 40.0
+    #: Which node to kill; defaults to the first data node.
+    crash_node: int | None = None
+    #: Restart the dead node this long after the crash (None: never).
+    #: Needed for k=1 to regain availability.
+    restart_after: float | None = 40.0
+    duration: float = 140.0
+    bucket: float = 5.0
+
+    seed: int = 0
+    vacuum_interval: float = 10.0
+
+    #: A post-crash qps bucket counts as "recovered" at this fraction
+    #: of the pre-crash baseline.
+    recovery_qps_fraction: float = 0.7
+
+
+@dataclasses.dataclass
+class Fig9KResult:
+    """One run at one replication factor (crash at t=0 on the axis)."""
+
+    k: int
+    qps: list[tuple[float, float]]
+    response_ms: list[tuple[float, float | None]]
+    baseline_qps: float
+    min_qps_after_crash: float
+    dip_fraction: float          # 1 - min/baseline (0 = no dip)
+    detection_seconds: float | None
+    failover_seconds: float | None   # crash -> promotion/handling done
+    throughput_recovery_seconds: float | None
+    committed_orders: int
+    lost_commits: int
+    promotions: int
+    unavailable_partitions: int
+    replicas_seeded: int
+    commits_shipped: int
+    bytes_shipped: int
+    retry_summary: dict[str, int | float]
+    events: list
+
+    def to_row(self) -> list:
+        return [
+            self.k,
+            round(self.baseline_qps, 2),
+            round(self.min_qps_after_crash, 2),
+            round(self.dip_fraction, 3),
+            (None if self.detection_seconds is None
+             else round(self.detection_seconds, 1)),
+            (None if self.failover_seconds is None
+             else round(self.failover_seconds, 1)),
+            (None if self.throughput_recovery_seconds is None
+             else round(self.throughput_recovery_seconds, 1)),
+            self.promotions,
+            self.unavailable_partitions,
+            self.lost_commits,
+            self.retry_summary["first_try_completions"],
+            self.retry_summary["retried_completions"],
+            self.retry_summary["exhausted_failures"],
+        ]
+
+
+@dataclasses.dataclass
+class Fig9Result:
+    config: Fig9Config
+    runs: dict[int, Fig9KResult]
+
+    HEADERS = ["k", "base qps", "min qps", "dip", "detect(s)",
+               "failover(s)", "recover(s)", "promoted", "unavail",
+               "lost", "1st-try", "retried", "exhausted"]
+
+    def to_table(self) -> str:
+        rows = [self.runs[k].to_row() for k in sorted(self.runs)]
+        return render_table(
+            self.HEADERS, rows,
+            title="Fig. 9 — failover: crash at t=0, one data node killed",
+        )
+
+
+def _build_cluster(config: Fig9Config) -> tuple[Environment, Cluster]:
+    env = Environment(seed=config.seed)
+    cluster = Cluster(
+        env, node_count=config.node_count,
+        initially_active=config.node_count,
+        buffer_pages_per_node=config.buffer_pages_per_node,
+        segment_max_pages=config.segment_max_pages,
+        lock_timeout=config.lock_timeout,
+    )
+    cluster.monitor.interval = config.monitor_interval
+    owners = [cluster.worker(n) for n in config.data_nodes]
+    load_tpcc(cluster, config.tpcc, owners=owners,
+              segment_max_pages=config.segment_max_pages)
+    return env, cluster
+
+
+def _lost_commits(cluster: Cluster,
+                  committed: typing.Sequence[tuple[int, int, int]]) -> int:
+    """Durability check: how many acknowledged NewOrders are missing
+    from the partition the global partition table currently points at
+    (for k >= 2 after a crash, that is the promoted replica)."""
+    lost = 0
+    for w, d, o_id in committed:
+        key = (w, d, o_id)
+        try:
+            location = cluster.master.gpt.locate("orders", key)
+        except KeyError:
+            lost += 1
+            continue
+        worker = cluster.worker(location.node_id)
+        partition = worker.partitions.get(location.partition_id)
+        segment = partition.segment_for(key) if partition is not None else None
+        found = False
+        if segment is not None and hasattr(segment, "versions_for"):
+            for _page, _slot, version in segment.versions_for(key):
+                if (version.created_ts is not None
+                        and version.deleted_ts is None):
+                    found = True
+                    break
+        if not found:
+            lost += 1
+    return lost
+
+
+def run_fig9_single(k: int, config: Fig9Config | None = None) -> Fig9KResult:
+    """One crash-and-recover run at replication factor ``k``."""
+    config = config or Fig9Config()
+    env, cluster = _build_cluster(config)
+
+    replication = ReplicationManager(
+        cluster, k=k,
+        policy=PlacementPolicy(cluster, rack_width=config.rack_width),
+    )
+    coordinator = FailoverCoordinator(cluster, replication)
+    detector = FailureDetector(
+        cluster, coordinator, miss_threshold=config.miss_threshold
+    )
+
+    # Seed replicas before the workload; the crash clock starts after.
+    env.run(until=env.process(replication.protect_all(), name="protect"))
+    replicas_seeded = sum(
+        len(rs.replicas) for rs in cluster.catalog.replica_sets.values()
+    )
+    t_start = env.now
+    crash_abs = t_start + config.crash_at
+    crash_node = (config.crash_node if config.crash_node is not None
+                  else config.data_nodes[0])
+
+    injector = FaultInjector(cluster)
+    injector.crash_at(crash_abs, crash_node)
+    if config.restart_after is not None:
+        injector.restart_at(crash_abs + config.restart_after, crash_node)
+
+    # The workload RNG derives from the experiment seed so "same seed,
+    # same metrics" holds and different seeds genuinely differ.
+    ctx = TpccContext(cluster, config.tpcc, cc=config.cc,
+                      rng=random.Random(config.seed * 7919 + 7))
+    driver = WorkloadDriver(
+        cluster, ctx, clients=config.clients,
+        client_interval=config.client_interval,
+        power_sample_interval=config.bucket,
+    )
+    committed: list[tuple[int, int, int]] = []
+
+    def remember_commit(kind, _start, _end, _breakdown, result, _attempts):
+        if kind == "new_order" and isinstance(result, dict):
+            committed.append((result["w"], result["d"], result["o_id"]))
+
+    driver.completion_listener = remember_commit
+
+    start_vacuum_daemon(cluster, interval=config.vacuum_interval)
+    env.process(cluster.monitor.run(), name="monitor")
+    env.process(detector.run(), name="failure-detector")
+    env.process(injector.run(), name="fault-injector")
+    workload = env.process(driver.run(config.duration), name="workload")
+    env.run(until=workload)
+
+    # -- metrics (time axis shifted so the crash is t=0) -------------------
+    qps_abs = driver.qps_series(t_start, t_start + config.duration,
+                                config.bucket)
+    resp_abs = driver.response_series(t_start, t_start + config.duration,
+                                      config.bucket)
+    qps = [(t - crash_abs, v) for t, v in qps_abs]
+    response_ms = [(t - crash_abs, v) for t, v in resp_abs]
+
+    pre = [v for t, v in qps if t < 0 and v is not None]
+    baseline = sum(pre) / len(pre) if pre else 0.0
+    post = [v for t, v in qps if t >= 0 and v is not None]
+    min_after = min(post) if post else 0.0
+    # Clamped at 0: on small runs the post-crash minimum can exceed the
+    # noisy pre-crash baseline, which is "no dip", not a negative one.
+    dip = max(0.0, 1.0 - (min_after / baseline)) if baseline > 0 else 0.0
+
+    detection = None
+    for t, node_id in detector.detections:
+        if node_id == crash_node:
+            detection = t - crash_abs
+            break
+    failover = None
+    for recovery in coordinator.recoveries:
+        if recovery["node_id"] == crash_node:
+            failover = recovery["completed_at"] - crash_abs
+            break
+    recovered = None
+    for t, v in qps:
+        if t >= 0 and v is not None and baseline > 0 \
+                and v >= config.recovery_qps_fraction * baseline:
+            recovered = t
+            break
+
+    return Fig9KResult(
+        k=k,
+        qps=qps,
+        response_ms=response_ms,
+        baseline_qps=baseline,
+        min_qps_after_crash=min_after,
+        dip_fraction=dip,
+        detection_seconds=detection,
+        failover_seconds=failover,
+        throughput_recovery_seconds=recovered,
+        committed_orders=len(committed),
+        lost_commits=_lost_commits(cluster, committed),
+        promotions=len(coordinator.promotions),
+        unavailable_partitions=len(
+            [e for e in coordinator.events
+             if e.kind == "partition_unavailable"]
+        ),
+        replicas_seeded=replicas_seeded,
+        commits_shipped=replication.commits_shipped,
+        bytes_shipped=replication.bytes_shipped,
+        retry_summary=driver.retry_summary(),
+        events=list(coordinator.events),
+    )
+
+
+def run_fig9(config: Fig9Config | None = None) -> Fig9Result:
+    """The full sweep over the configured replication factors."""
+    config = config or Fig9Config()
+    runs = {
+        k: run_fig9_single(k, config)
+        for k in config.replication_factors
+    }
+    return Fig9Result(config=config, runs=runs)
+
+
+def quick_fig9_config() -> Fig9Config:
+    """Reduced parameters for fast runs (benches, CLI --quick)."""
+    return Fig9Config(
+        tpcc=TpccConfig(
+            warehouses=4, districts_per_warehouse=3,
+            customers_per_district=15, items=100,
+            orders_per_district=6, order_lines_per_order=5,
+        ),
+        clients=5, client_interval=0.4,
+        node_count=4, data_nodes=(1, 2),
+        crash_at=25.0, restart_after=30.0, duration=90.0, bucket=5.0,
+    )

@@ -1,0 +1,40 @@
+"""High availability: segment replication, fault injection, failover.
+
+The paper's cluster trades hardware redundancy for elasticity — wimpy
+nodes come and go — which makes node loss an everyday event rather than
+a disaster.  This package keeps partitions available through it:
+
+* :mod:`repro.ha.placement` — rack- and disk-aware choice of replica
+  holders (distinct nodes, preferably distinct racks).
+* :mod:`repro.ha.replication` — synchronous log shipping: each
+  partition's WAL tail is forced to k-1 replica holders before a
+  commit is acknowledged.
+* :mod:`repro.ha.faults` — a deterministic fault injector (crashes,
+  restarts, severed NICs, failed disks) driven by the simulation RNG.
+* :mod:`repro.ha.failover` — heartbeat-staleness detection, replica
+  promotion through the REDO recovery path, and re-replication back
+  to the target factor.
+"""
+
+from repro.ha.faults import FaultEvent, FaultInjector
+from repro.ha.failover import FailoverCoordinator, FailoverEvent, FailureDetector
+from repro.ha.placement import PlacementPolicy
+from repro.ha.replication import (
+    REPLICA_BASE_TXN_ID,
+    ReplicaSet,
+    ReplicationManager,
+    SegmentReplica,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FailoverCoordinator",
+    "FailoverEvent",
+    "FailureDetector",
+    "PlacementPolicy",
+    "REPLICA_BASE_TXN_ID",
+    "ReplicaSet",
+    "ReplicationManager",
+    "SegmentReplica",
+]

@@ -1,0 +1,298 @@
+"""Failure detection and replica promotion.
+
+The master already collects heartbeats as a side effect of monitoring
+(Sect. 3.4): every successful ``ClusterMonitor`` sample stamps the
+node's entry in ``monitor.heartbeats``.  The :class:`FailureDetector`
+polls that map; a node whose heartbeat is older than
+``miss_threshold`` monitoring intervals is declared failed and handed
+to the :class:`FailoverCoordinator`, which
+
+1. aborts in-flight transactions that touched the dead node (so their
+   locks release — usually already done by the fault injector),
+2. promotes a replica for every partition the node owned: the replica
+   log is replayed through the ordinary REDO path
+   (:func:`repro.txn.recovery.recover_worker_table`) into a partition
+   shell carrying the *same* partition id, and the global partition
+   table is repointed at the new owner,
+3. marks partitions with no live replica unavailable (replication
+   factor 1) — clients fail fast and exhaust their bounded retries
+   cleanly instead of hanging,
+4. re-replicates until every surviving partition is back at factor k.
+
+When a failed node's heartbeats resume (restart, link repaired), the
+coordinator restores its unavailable partitions and refreshes the now
+stale replicas it held.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.txn.recovery import recover_worker_table
+from repro.txn.wal import LOG_BLOCK_BYTES
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.ha.replication import ReplicaSet, ReplicationManager, SegmentReplica
+    from repro.index.global_table import PartitionLocation
+    from repro.index.partition_tree import KeyRange
+
+
+@dataclasses.dataclass(frozen=True)
+class FailoverEvent:
+    """One step of the failover timeline (for experiments/tests)."""
+
+    time: float
+    kind: str  # node_failed | promoted | partition_unavailable | ...
+    node_id: int
+    partition_id: int | None = None
+    detail: str = ""
+
+
+class FailoverCoordinator:
+    """Master-side recovery driver."""
+
+    def __init__(self, cluster: "Cluster",
+                 replication: "ReplicationManager | None" = None):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.replication = replication
+        self.failed_nodes: set[int] = set()
+        self.events: list[FailoverEvent] = []
+        #: ``(table, partition_id)`` pairs currently without a live copy.
+        self.unavailable: list[tuple[str, int]] = []
+        #: One dict per promotion: partition, nodes, replayed records,
+        #: and how long the takeover took in sim seconds.
+        self.promotions: list[dict] = []
+        #: One dict per handled node failure.
+        self.recoveries: list[dict] = []
+
+    @property
+    def master(self):
+        return self.cluster.master
+
+    @property
+    def catalog(self):
+        return self.cluster.catalog
+
+    def _note(self, kind: str, node_id: int,
+              partition_id: int | None = None, detail: str = "") -> None:
+        self.events.append(
+            FailoverEvent(self.env.now, kind, node_id, partition_id, detail)
+        )
+
+    # -- failure handling ----------------------------------------------------
+
+    def node_failed(self, node_id: int, priority: int = 0):
+        """Generator: take over everything the dead node owned."""
+        if node_id in self.failed_nodes:
+            return
+        self.failed_nodes.add(node_id)
+        detected_at = self.env.now
+        self._note("node_failed", node_id)
+        dead = self.cluster.worker(node_id)
+
+        # Locks of in-flight transactions on the dead node must not
+        # strand survivors; usually the injector already did this.
+        for txn in self.cluster.txns.active_transactions():
+            visited = getattr(txn, "_visited_nodes", ())
+            if node_id in visited or dead.wal in txn._dirty_logs:
+                self.cluster.txns.abort(txn)
+
+        promoted = 0
+        lost = 0
+        for table, key_range, location in self.master.gpt.locations_on(node_id):
+            if location.is_moving:
+                if self._resolve_interrupted_move(table, location, node_id):
+                    continue
+            if location.node_id != node_id:
+                continue
+            replica_set = self.catalog.replica_set_for(location.partition_id)
+            replica = (replica_set.best_replica(self.cluster)
+                       if replica_set is not None else None)
+            if replica is None:
+                self.master.gpt.set_available(table, location.partition_id,
+                                              False)
+                self.unavailable.append((table, location.partition_id))
+                lost += 1
+                self._note("partition_unavailable", node_id,
+                           location.partition_id)
+                continue
+            yield from self._promote(table, key_range, location,
+                                     replica_set, replica, priority)
+            promoted += 1
+
+        if self.replication is not None:
+            yield from self._restore_factor(priority)
+
+        self.recoveries.append({
+            "node_id": node_id,
+            "detected_at": detected_at,
+            "completed_at": self.env.now,
+            "seconds": self.env.now - detected_at,
+            "promoted": promoted,
+            "unavailable": lost,
+        })
+
+    def _resolve_interrupted_move(self, table: str,
+                                  location: "PartitionLocation",
+                                  dead_node_id: int) -> bool:
+        """A node died mid-repartitioning: collapse the dual pointer
+        onto the surviving end when that end still serves.  Returns
+        True when the location is fully handled."""
+        if location.node_id == dead_node_id:
+            survivor = location.moving_to_node_id
+        else:
+            survivor = location.node_id
+        if not self.cluster.worker(survivor).is_serving:
+            return False
+        if location.node_id == dead_node_id:
+            self.master.gpt.finish_move(table, location.partition_id)
+        else:
+            self.master.gpt.abort_move(table, location.partition_id)
+        self._note("move_resolved", survivor, location.partition_id)
+        return True
+
+    def _promote(self, table: str, key_range: "KeyRange",
+                 location: "PartitionLocation", replica_set: "ReplicaSet",
+                 replica: "SegmentReplica", priority: int = 0):
+        """Generator: rebuild the partition from ``replica``'s log on
+        its holder and repoint the world at it."""
+        t0 = self.env.now
+        holder = self.cluster.worker(replica.holder_node_id)
+        # ``gpt.reassign`` mutates ``location`` in place; capture the
+        # dead owner before it is repointed.
+        from_node = location.node_id
+        dead = self.cluster.worker(location.node_id)
+        old_partition = dead.partitions.get(location.partition_id)
+
+        # Sequential scan of the replica log on the holder's log disk.
+        log_bytes = max(
+            sum(r.nbytes for r in replica.log.records), LOG_BLOCK_BYTES
+        )
+        yield from holder.log_disk.read(
+            log_bytes, sequential=True, priority=priority
+        )
+
+        partition = self.catalog.rebuild_partition(
+            location.partition_id, table, holder.node_id
+        )
+        partition.bounds = key_range
+        report = recover_worker_table(
+            replica.log, partition, table, from_checkpoint=False
+        )
+        holder.add_partition(partition)
+        for segment in list(partition.segments.values()):
+            holder.ensure_hosted(segment)
+            yield from holder.write_segment(segment, priority=priority)
+        if old_partition is not None:
+            for name, index in old_partition.secondary_indexes.items():
+                partition.create_secondary_index(name, index.key_columns)
+            dead.strip_partition(location.partition_id)
+
+        self.master.gpt.reassign(table, location.partition_id,
+                                 holder.node_id)
+        replica_set.primary_node_id = holder.node_id
+        replica_set.replicas.remove(replica)
+        seconds = self.env.now - t0
+        self.promotions.append({
+            "partition_id": location.partition_id,
+            "table": table,
+            "from_node": from_node,
+            "to_node": holder.node_id,
+            "replayed": report.redone_total,
+            "losers_discarded": report.losers_discarded,
+            "seconds": seconds,
+        })
+        self._note("promoted", holder.node_id, location.partition_id,
+                   f"replayed {report.redone_total} records in {seconds:.3f}s")
+        return partition
+
+    def _restore_factor(self, priority: int = 0):
+        """Generator: top every surviving replica set back up to k."""
+        for replica_set in list(self.catalog.replica_sets.values()):
+            owner = self.cluster.worker(replica_set.primary_node_id)
+            if not owner.is_serving:
+                continue
+            partition = owner.partitions.get(replica_set.partition_id)
+            if partition is None:
+                continue
+            yield from self.replication.protect_partition(partition, priority)
+
+    # -- recovery of a returning node ----------------------------------------
+
+    def node_restored(self, node_id: int, priority: int = 0):
+        """Generator: a failed node's heartbeats resumed — restore its
+        unavailable partitions and refresh the stale replicas it holds."""
+        if node_id not in self.failed_nodes:
+            return
+        self.failed_nodes.discard(node_id)
+        self._note("node_restored", node_id)
+        worker = self.cluster.worker(node_id)
+        for table, _key_range, location in self.master.gpt.locations_on(node_id):
+            if (location.node_id == node_id and not location.available
+                    and location.partition_id in worker.partitions):
+                self.master.gpt.set_available(table, location.partition_id,
+                                              True)
+                pair = (table, location.partition_id)
+                if pair in self.unavailable:
+                    self.unavailable.remove(pair)
+                self._note("partition_available", node_id,
+                           location.partition_id)
+        if self.replication is not None:
+            # Replicas this node held missed every shipment while it was
+            # away; mark them stale so re-replication reseeds them.
+            for replica_set in self.catalog.replica_sets_holding_on(node_id):
+                for replica in replica_set.replicas:
+                    if replica.holder_node_id == node_id:
+                        replica.stale = True
+            yield from self._restore_factor(priority)
+
+
+class FailureDetector:
+    """Declares nodes failed on heartbeat staleness.
+
+    Runs as a simulation process next to the cluster monitor.  A node
+    is suspected once its last heartbeat is older than
+    ``miss_threshold`` monitoring intervals; a failed node whose
+    heartbeats resume is handed back as restored.  Nodes that never
+    reported (still on standby) are ignored.
+    """
+
+    def __init__(self, cluster: "Cluster",
+                 coordinator: FailoverCoordinator,
+                 miss_threshold: int = 3,
+                 poll_interval: float | None = None):
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.coordinator = coordinator
+        self.monitor = cluster.monitor
+        self.poll_interval = (poll_interval if poll_interval is not None
+                              else self.monitor.interval)
+        self.deadline = miss_threshold * self.monitor.interval
+        #: ``(time, node_id)`` of every staleness detection.
+        self.detections: list[tuple[float, int]] = []
+
+    def run(self):
+        """Generator: the detection loop (never returns)."""
+        master_id = self.cluster.master.worker.node_id
+        while True:
+            yield self.env.timeout(self.poll_interval)
+            now = self.env.now
+            for worker in list(self.cluster.workers):
+                node_id = worker.node_id
+                if node_id == master_id:
+                    continue
+                last = self.monitor.heartbeats.get(node_id)
+                if last is None:
+                    continue
+                stale = (now - last) > self.deadline
+                if node_id in self.coordinator.failed_nodes:
+                    if not stale:
+                        yield from self.coordinator.node_restored(node_id)
+                elif stale:
+                    self.detections.append((now, node_id))
+                    yield from self.coordinator.node_failed(node_id)

@@ -1,0 +1,147 @@
+"""Deterministic fault injection.
+
+A :class:`FaultInjector` executes a schedule of fault events against
+the simulated hardware: abrupt node crashes and restarts, severed NIC
+links, and failed data disks.  Schedules are either laid out
+explicitly (``crash_at`` etc.) or drawn from the simulation's seeded
+RNG (``random_faults``), so the same seed always yields the same crash
+times on the same nodes — experiment runs are exactly repeatable.
+
+Crashing a node also aborts every in-flight transaction that touched
+it: their locks must release immediately, or survivors would block on
+a dead lock holder until timeout.  (The aborted clients observe
+``TransactionAborted`` and retry through the normal bounded-retry
+path.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.worker import WorkerNode
+
+#: Supported fault kinds.
+FAULT_KINDS = ("crash", "restart", "sever_link", "restore_link", "fail_disk")
+
+#: Kinds that take a node out of service (and are refused for the
+#: master — the paper's coordinator is a fixed single point).
+_DESTRUCTIVE = ("crash", "sever_link", "fail_disk")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    at: float
+    kind: str
+    node_id: int
+
+
+class FaultInjector:
+    """Replays a fault schedule as a simulation process."""
+
+    def __init__(self, cluster: "Cluster",
+                 rng: random.Random | None = None):
+        self.cluster = cluster
+        self.env = cluster.env
+        #: Drawing randomness from the environment's seeded RNG keeps
+        #: the schedule a pure function of the simulation seed.
+        self.rng = rng if rng is not None else self.env.rng
+        self.schedule: list[FaultEvent] = []
+        #: Events actually applied, in application order.
+        self.injected: list[FaultEvent] = []
+
+    # -- schedule construction ----------------------------------------------
+
+    def at(self, at: float, kind: str, node_id: int) -> "FaultInjector":
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if (kind in _DESTRUCTIVE
+                and node_id == self.cluster.master.worker.node_id):
+            raise ValueError("refusing to injure the master node")
+        self.cluster.worker(node_id)  # validate the id early
+        self.schedule.append(FaultEvent(at, kind, node_id))
+        return self
+
+    def crash_at(self, at: float, node_id: int) -> "FaultInjector":
+        return self.at(at, "crash", node_id)
+
+    def restart_at(self, at: float, node_id: int) -> "FaultInjector":
+        return self.at(at, "restart", node_id)
+
+    def sever_link_at(self, at: float, node_id: int) -> "FaultInjector":
+        return self.at(at, "sever_link", node_id)
+
+    def restore_link_at(self, at: float, node_id: int) -> "FaultInjector":
+        return self.at(at, "restore_link", node_id)
+
+    def fail_disk_at(self, at: float, node_id: int) -> "FaultInjector":
+        return self.at(at, "fail_disk", node_id)
+
+    def random_faults(self, count: int, window: tuple[float, float],
+                      nodes: typing.Sequence[int] | None = None,
+                      kinds: typing.Sequence[str] = ("crash",)
+                      ) -> "FaultInjector":
+        """Draw ``count`` faults uniformly over ``window`` from the
+        seeded RNG.  Eligible nodes default to every non-master node."""
+        if nodes is None:
+            master_id = self.cluster.master.worker.node_id
+            nodes = [
+                w.node_id for w in self.cluster.workers
+                if w.node_id != master_id
+            ]
+        lo, hi = window
+        for _ in range(count):
+            at = self.rng.uniform(lo, hi)
+            kind = self.rng.choice(list(kinds))
+            node_id = self.rng.choice(list(nodes))
+            self.at(at, kind, node_id)
+        return self
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self):
+        """Generator: the injector process — apply the schedule in
+        time order, then exit."""
+        for event in sorted(self.schedule):
+            delay = event.at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.apply(event)
+
+    def apply(self, event: FaultEvent) -> None:
+        """Apply one fault immediately (also usable outside ``run``)."""
+        worker = self.cluster.worker(event.node_id)
+        if event.kind == "crash":
+            worker.machine.crash()
+            self._abort_in_flight(worker)
+        elif event.kind == "restart":
+            # Booting takes sim time; run it as its own process so the
+            # injector keeps pace with the rest of the schedule.
+            self.env.process(worker.machine.power_on())
+        elif event.kind == "sever_link":
+            worker.port.sever()
+            self._abort_in_flight(worker)
+        elif event.kind == "restore_link":
+            worker.port.restore()
+        elif event.kind == "fail_disk":
+            for disk in worker.disk_space.disks:
+                if not disk.failed:
+                    disk.fail()
+                    break
+            self._abort_in_flight(worker)
+        else:  # pragma: no cover - guarded by at()
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+        self.injected.append(event)
+
+    def _abort_in_flight(self, worker: "WorkerNode") -> None:
+        """Abort every active transaction that touched the worker, so
+        its locks release instead of stranding survivors."""
+        for txn in self.cluster.txns.active_transactions():
+            visited = getattr(txn, "_visited_nodes", ())
+            if worker.node_id in visited or worker.wal in txn._dirty_logs:
+                self.cluster.txns.abort(txn)

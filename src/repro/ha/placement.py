@@ -1,0 +1,83 @@
+"""Replica placement: distinct nodes, preferably distinct racks.
+
+The cluster model has no explicit rack topology — nodes sit behind one
+switch — so racks are modelled as contiguous node-id groups of
+``rack_width`` (node 0-3 in rack 0, 4-7 in rack 1, ...), overridable
+per machine via a ``rack_id`` attribute.  Placement then ranks
+candidate holders so that a whole-rack outage (shared PDU, top-of-rack
+switch) cannot take out a partition and all of its replicas at once.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.worker import WorkerNode
+
+#: Default nodes per modelled rack.
+DEFAULT_RACK_WIDTH = 4
+
+
+class PlacementPolicy:
+    """Rack- and disk-aware choice of replica holders."""
+
+    def __init__(self, cluster: "Cluster",
+                 rack_width: int = DEFAULT_RACK_WIDTH):
+        if rack_width < 1:
+            raise ValueError("rack_width must be >= 1")
+        self.cluster = cluster
+        self.rack_width = rack_width
+
+    def rack_of(self, node_id: int) -> int:
+        machine = self.cluster.worker(node_id).machine
+        explicit = getattr(machine, "rack_id", None)
+        if explicit is not None:
+            return explicit
+        return node_id // self.rack_width
+
+    # -- candidate ranking --------------------------------------------------
+
+    def _replicas_held(self, node_id: int) -> int:
+        return sum(
+            1
+            for rs in self.cluster.catalog.replica_sets.values()
+            for replica in rs.replicas
+            if replica.holder_node_id == node_id
+        )
+
+    def _storage_load(self, worker: "WorkerNode") -> float:
+        capacity = sum(d.spec.capacity_bytes for d in worker.disk_space.disks)
+        if not capacity:
+            return 1.0
+        used = capacity - worker.disk_space.total_free_bytes
+        return used / capacity
+
+    def choose_holders(self, primary_node_id: int, count: int,
+                       exclude: typing.Collection[int] = ()
+                       ) -> list["WorkerNode"]:
+        """Up to ``count`` distinct serving nodes to hold replicas.
+
+        Ranking (ascending, deterministic): off-rack before same-rack
+        relative to the primary, then fewest replicas already held,
+        then lowest data-disk storage load, then node id.  Returns
+        fewer than ``count`` when the cluster cannot satisfy the
+        factor — the caller degrades rather than doubling up on a
+        node.
+        """
+        if count <= 0:
+            return []
+        excluded = set(exclude) | {primary_node_id}
+        primary_rack = self.rack_of(primary_node_id)
+        candidates = [
+            w for w in self.cluster.workers
+            if w.node_id not in excluded and w.is_serving
+        ]
+        candidates.sort(key=lambda w: (
+            self.rack_of(w.node_id) == primary_rack,
+            self._replicas_held(w.node_id),
+            round(self._storage_load(w), 6),
+            w.node_id,
+        ))
+        return candidates[:count]

@@ -1,0 +1,290 @@
+"""Synchronous segment replication by WAL shipping.
+
+Each protected partition has a replica set of k-1 holders on distinct
+nodes (see :mod:`repro.ha.placement`).  A replica is physically a
+per-partition log on the holder's log disk: seeding writes the
+partition's committed rows as a pseudo-committed base image, and every
+later commit ships the partition's log tail over the network and
+forces it on each holder before the commit is acknowledged — the
+synchronous-redundancy discipline that lets failover replay a replica
+log through the ordinary REDO path (:mod:`repro.txn.recovery`) and
+lose nothing that was acknowledged.
+
+The hooks this rides on:
+
+* ``WorkerNode.on_log_write`` buffers every data log record of a
+  protected partition, keyed by transaction.
+* ``TransactionManager.on_commit`` drains the buffer to the replica
+  holders inside the commit path (after the local log force, before
+  the commit returns).
+* ``TransactionManager.on_abort`` discards the loser's buffer.
+
+A holder that cannot be reached (crashed, severed NIC, dead log disk)
+marks its replica *stale* rather than failing the commit: the commit
+is already locally durable, availability degrades to the remaining
+replicas, and re-replication restores the factor later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hardware.disk import DiskFailedError
+from repro.hardware.network import LinkDownError
+from repro.ha.placement import PlacementPolicy
+from repro.txn.wal import LOG_BLOCK_BYTES, LOG_RECORD_HEADER_BYTES, LogManager
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.catalog import Partition
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.worker import WorkerNode
+    from repro.txn.manager import Transaction
+    from repro.txn.wal import LogRecord
+
+#: Pseudo transaction id for a replica's seeded base image (committed
+#: by construction; distinct from recovery's REDO_TXN_ID = -1).
+REPLICA_BASE_TXN_ID = -2
+
+
+@dataclasses.dataclass
+class SegmentReplica:
+    """One replica of one partition: a log on the holder's log disk."""
+
+    holder_node_id: int
+    log: LogManager
+    created_at: float
+    #: Missed at least one shipment (holder was unreachable); a stale
+    #: replica must never be promoted and is dropped by re-replication.
+    stale: bool = False
+    bytes_shipped: int = 0
+
+
+class ReplicaSet:
+    """All replicas of one partition, tracked in the master's catalog."""
+
+    def __init__(self, partition_id: int, table: str, primary_node_id: int):
+        self.partition_id = partition_id
+        self.table = table
+        self.primary_node_id = primary_node_id
+        self.replicas: list[SegmentReplica] = []
+
+    def live_replicas(self, cluster: "Cluster") -> list[SegmentReplica]:
+        return [
+            r for r in self.replicas
+            if not r.stale and cluster.worker(r.holder_node_id).is_serving
+        ]
+
+    def best_replica(self, cluster: "Cluster") -> SegmentReplica | None:
+        """The promotion candidate: any live replica (they are all
+        synchronously identical), lowest holder id for determinism."""
+        live = self.live_replicas(cluster)
+        if not live:
+            return None
+        return min(live, key=lambda r: r.holder_node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        holders = [r.holder_node_id for r in self.replicas]
+        return (
+            f"<ReplicaSet p{self.partition_id} primary={self.primary_node_id} "
+            f"holders={holders}>"
+        )
+
+
+class ReplicationManager:
+    """Keeps every protected partition at replication factor ``k``."""
+
+    def __init__(self, cluster: "Cluster", k: int = 2,
+                 policy: PlacementPolicy | None = None):
+        if k < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.k = k
+        self.policy = policy or PlacementPolicy(cluster)
+        #: txn_id -> [(partition_id, record)] buffered until commit.
+        self._pending: dict[int, list[tuple[int, "LogRecord"]]] = {}
+        self.commits_shipped = 0
+        self.records_shipped = 0
+        self.bytes_shipped = 0
+        self.ship_failures = 0
+        self._install()
+
+    def _install(self) -> None:
+        self.cluster.txns.on_commit = self.ship_commit
+        self.cluster.txns.on_abort = self._drop_pending
+        for worker in self.cluster.workers:
+            worker.on_log_write = self._note_log_write
+
+    @property
+    def catalog(self):
+        return self.cluster.catalog
+
+    # -- log-write buffering -------------------------------------------------
+
+    def _note_log_write(self, worker: "WorkerNode", partition: "Partition",
+                        record: "LogRecord") -> None:
+        if partition.partition_id not in self.catalog.replica_sets:
+            return
+        self._pending.setdefault(record.txn_id, []).append(
+            (partition.partition_id, record)
+        )
+
+    def _drop_pending(self, txn: "Transaction") -> None:
+        self._pending.pop(txn.txn_id, None)
+
+    # -- commit-time shipping ------------------------------------------------
+
+    def ship_commit(self, txn: "Transaction", breakdown=None,
+                    priority: int = 0):
+        """Generator: force the transaction's buffered log records on
+        every live replica holder of every partition it wrote.
+
+        Unreachable holders degrade to ``stale`` instead of failing
+        the commit — the write is already durable on the primary.
+        """
+        pending = self._pending.pop(txn.txn_id, None)
+        if not pending:
+            return
+        t0 = self.env.now
+        groups: dict[int, list["LogRecord"]] = {}
+        for partition_id, record in pending:
+            groups.setdefault(partition_id, []).append(record)
+        for partition_id, records in groups.items():
+            replica_set = self.catalog.replica_set_for(partition_id)
+            if replica_set is None:
+                continue
+            primary = self.cluster.worker(replica_set.primary_node_id)
+            payload_bytes = (
+                sum(r.nbytes for r in records) + LOG_RECORD_HEADER_BYTES
+            )
+            for replica in replica_set.replicas:
+                holder = self.cluster.worker(replica.holder_node_id)
+                if replica.stale:
+                    continue
+                if not holder.is_serving:
+                    replica.stale = True
+                    self.ship_failures += 1
+                    continue
+                try:
+                    yield from self.cluster.network.transfer(
+                        primary.port, holder.port, payload_bytes, priority
+                    )
+                except LinkDownError:
+                    replica.stale = True
+                    self.ship_failures += 1
+                    continue
+                if not holder.is_serving:
+                    # Crashed while the bytes were in flight.
+                    replica.stale = True
+                    self.ship_failures += 1
+                    continue
+                for record in records:
+                    replica.log.append(
+                        record.txn_id, record.kind, record.payload,
+                        record.nbytes,
+                    )
+                lsn = replica.log.append(txn.txn_id, "commit")
+                try:
+                    yield from replica.log.flush(lsn, None, priority)
+                except DiskFailedError:
+                    replica.stale = True
+                    self.ship_failures += 1
+                    continue
+                replica.bytes_shipped += payload_bytes
+                self.records_shipped += len(records)
+                self.bytes_shipped += payload_bytes
+            self.commits_shipped += 1
+        if breakdown is not None:
+            breakdown.add("replication", self.env.now - t0)
+
+    # -- protection / re-replication ----------------------------------------
+
+    def protect_all(self, priority: int = 0):
+        """Generator: bring every partition in the cluster up to k."""
+        for worker in self.cluster.workers:
+            for partition in list(worker.partitions.values()):
+                yield from self.protect_partition(partition, priority)
+
+    def protect_partition(self, partition: "Partition", priority: int = 0):
+        """Generator: ensure ``partition`` has k-1 live replicas,
+        seeding new ones where needed.  Also serves as re-replication:
+        dead and stale replicas are pruned first, then the set is
+        topped back up.  Returns the replica set."""
+        replica_set = self.catalog.replica_set_for(partition.partition_id)
+        if replica_set is None:
+            replica_set = ReplicaSet(
+                partition.partition_id, partition.table.name,
+                partition.node_id,
+            )
+            self.catalog.register_replica_set(replica_set)
+        else:
+            replica_set.primary_node_id = partition.node_id
+        self._prune(replica_set)
+        need = (self.k - 1) - len(replica_set.replicas)
+        if need > 0:
+            exclude = {r.holder_node_id for r in replica_set.replicas}
+            holders = self.policy.choose_holders(
+                partition.node_id, need, exclude
+            )
+            for holder in holders:
+                yield from self._seed_replica(
+                    replica_set, partition, holder, priority
+                )
+        return replica_set
+
+    def _prune(self, replica_set: ReplicaSet) -> None:
+        replica_set.replicas = [
+            r for r in replica_set.replicas
+            if not r.stale and self.cluster.worker(r.holder_node_id).is_serving
+        ]
+
+    def _seed_replica(self, replica_set: ReplicaSet, partition: "Partition",
+                      holder: "WorkerNode", priority: int = 0):
+        """Generator: build a fresh replica on ``holder`` from the
+        partition's current committed rows.
+
+        The base image is written as pseudo-committed insert records so
+        promotion replays it with the exact same REDO machinery as the
+        shipped tail.  Costs: a sequential read of the partition on
+        the owner, the wire transfer, and a forced sequential write of
+        the holder's log disk.
+        """
+        owner = self.cluster.worker(partition.node_id)
+        log = LogManager(
+            self.env, holder.log_disk,
+            name=f"replica.p{partition.partition_id}@n{holder.node_id}",
+        )
+        for key, values, row_bytes in self._committed_rows(partition):
+            log.append(
+                REPLICA_BASE_TXN_ID, "insert",
+                (replica_set.table, key, values),
+                nbytes=row_bytes + LOG_RECORD_HEADER_BYTES,
+            )
+        lsn = log.append(REPLICA_BASE_TXN_ID, "commit")
+        data_bytes = max(partition.used_bytes, LOG_BLOCK_BYTES)
+        yield from owner.disk_space.disks[0].read(
+            data_bytes, sequential=True, priority=priority
+        )
+        yield from self.cluster.network.transfer(
+            owner.port, holder.port, data_bytes, priority
+        )
+        yield from log.flush(lsn, None, priority)
+        replica = SegmentReplica(holder.node_id, log, self.env.now)
+        replica.bytes_shipped += data_bytes
+        self.bytes_shipped += data_bytes
+        replica_set.replicas.append(replica)
+        return replica
+
+    @staticmethod
+    def _committed_rows(partition: "Partition"):
+        """Yield ``(key, values, size_bytes)`` for the newest committed
+        version of every live record."""
+        for segment_id in sorted(partition.segments):
+            segment = partition.segments[segment_id]
+            for key, _chain in segment.index_scan():
+                for _page_no, _slot, version in segment.versions_for(key):
+                    if version.created_ts is None or version.deleted_ts is not None:
+                        continue
+                    yield key, tuple(version.values), version.size_bytes
+                    break

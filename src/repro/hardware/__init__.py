@@ -9,8 +9,8 @@ came from.
 """
 
 from repro.hardware.cpu import Cpu
-from repro.hardware.disk import Disk, DiskSpec, HDD_SPEC, SSD_SPEC
-from repro.hardware.network import Network, NetworkPort
+from repro.hardware.disk import Disk, DiskFailedError, DiskSpec, HDD_SPEC, SSD_SPEC
+from repro.hardware.network import LinkDownError, Network, NetworkPort
 from repro.hardware.node import NodeMachine, PowerState
 from repro.hardware.power import ClusterEnergyMeter, NodePowerModel
 from repro.hardware import specs
@@ -19,9 +19,11 @@ __all__ = [
     "ClusterEnergyMeter",
     "Cpu",
     "Disk",
+    "DiskFailedError",
     "DiskSpec",
     "HDD_SPEC",
     "SSD_SPEC",
+    "LinkDownError",
     "Network",
     "NetworkPort",
     "NodeMachine",

@@ -51,6 +51,10 @@ SSD_SPEC = DiskSpec(
 )
 
 
+class DiskFailedError(RuntimeError):
+    """I/O against a failed device (fault injection)."""
+
+
 class Disk:
     """One storage device attached to a node."""
 
@@ -64,6 +68,16 @@ class Disk:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.failed = False
+
+    def fail(self) -> None:
+        """Mark the device dead; all subsequent I/O raises."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Bring a failed device back (drive swap); contents are gone —
+        callers must re-replicate onto it."""
+        self.failed = False
 
     def read(self, nbytes: int, sequential: bool = False, priority: int = 0):
         """Generator: perform a read of ``nbytes``.
@@ -82,6 +96,8 @@ class Disk:
         self.bytes_written += nbytes
 
     def _io(self, nbytes: int, sequential: bool, priority: int):
+        if self.failed:
+            raise DiskFailedError(f"disk {self.name} has failed")
         if nbytes < 0:
             raise ValueError(f"negative I/O size: {nbytes}")
         duration = self.spec.transfer_seconds(nbytes)

@@ -18,6 +18,10 @@ from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 
 
+class LinkDownError(RuntimeError):
+    """A transfer touched a severed port (fault injection)."""
+
+
 class NetworkPort:
     """One node's full-duplex GbE port (a tx lane and an rx lane)."""
 
@@ -34,6 +38,14 @@ class NetworkPort:
         self.rx_lane_id = NetworkPort._claim_lane_id()
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.severed = False
+
+    def sever(self) -> None:
+        """Cut both lanes (cable pull / NIC death)."""
+        self.severed = True
+
+    def restore(self) -> None:
+        self.severed = False
 
     @classmethod
     def _claim_lane_id(cls) -> int:
@@ -63,6 +75,9 @@ class Network:
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
+        if src.severed or dst.severed:
+            down = src.name if src.severed else dst.name
+            raise LinkDownError(f"port {down} is severed")
         if src is dst:
             return
         wire_time = nbytes / min(src.bandwidth, dst.bandwidth)

@@ -66,6 +66,10 @@ class NodeMachine:
     def is_active(self) -> bool:
         return self._state is PowerState.ACTIVE
 
+    @property
+    def is_crashed(self) -> bool:
+        return self._state is PowerState.CRASHED
+
     def _transition(self, new_state: PowerState) -> None:
         now = self.env.now
         self._base_energy += self._current_base_watts() * (now - self._state_since)
@@ -73,12 +77,13 @@ class NodeMachine:
         self._state_since = now
 
     def power_on(self):
-        """Generator: bring the node from standby to active.
+        """Generator: bring the node from standby (or crashed) to active.
 
         Takes :attr:`boot_seconds`; during the transition the node
-        draws active-idle power but cannot do useful work.
+        draws active-idle power but cannot do useful work.  Booting out
+        of CRASHED models an operator/injector restart after a fault.
         """
-        if self._state is not PowerState.STANDBY:
+        if self._state not in (PowerState.STANDBY, PowerState.CRASHED):
             raise PowerTransitionError(
                 f"node {self.node_id}: power_on from {self._state.value}"
             )
@@ -96,6 +101,19 @@ class NodeMachine:
         self._transition(PowerState.SHUTTING_DOWN)
         yield self.env.timeout(self.shutdown_seconds)
         self._transition(PowerState.STANDBY)
+
+    def crash(self) -> None:
+        """Kill the node instantly (fault injection).
+
+        Unlike :meth:`power_off` there is no quiesce and no transition
+        delay — the machine simply stops.  Only an active (or booting)
+        node can crash; a standby node has nothing to lose.
+        """
+        if self._state not in (PowerState.ACTIVE, PowerState.BOOTING):
+            raise PowerTransitionError(
+                f"node {self.node_id}: crash from {self._state.value}"
+            )
+        self._transition(PowerState.CRASHED)
 
     # -- power accounting --------------------------------------------------
 

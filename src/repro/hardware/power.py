@@ -28,6 +28,10 @@ class PowerState(enum.Enum):
     BOOTING = "booting"
     ACTIVE = "active"
     SHUTTING_DOWN = "shutting_down"
+    #: Abrupt, un-negotiated loss of the node (fault injection): no
+    #: quiesce, no shutdown delay.  Volatile state is gone; whatever is
+    #: on disk survives for a later restart.
+    CRASHED = "crashed"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,7 +49,9 @@ class NodePowerModel:
         on, just not useful, which is why needless power cycles hurt
         energy efficiency.
         """
-        if state is PowerState.STANDBY:
+        if state in (PowerState.STANDBY, PowerState.CRASHED):
+            # A crashed node draws like a powered-off one: the fault
+            # model treats a crash as sudden power loss.
             return self.standby_watts
         return self.idle_watts + disk_idle_watts
 

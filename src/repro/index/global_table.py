@@ -24,6 +24,10 @@ class PartitionLocation:
     partition_id: int
     node_id: int
     moving_to_node_id: int | None = None
+    #: Cleared when the owning node fails with no replica to promote
+    #: (replication factor 1).  Routing refuses unavailable partitions
+    #: outright so clients fail fast instead of hanging.
+    available: bool = True
 
     @property
     def candidate_nodes(self) -> list[int]:
@@ -140,6 +144,30 @@ class GlobalPartitionTable:
                 )
                 return
         raise KeyError(f"partition {partition_id} not registered for {table}")
+
+    def reassign(self, table: str, partition_id: int, new_node_id: int) -> None:
+        """Repoint a partition at a new owner (replica promotion): the
+        failed node's pointer is replaced, not dual-tracked — the old
+        owner is dead and must not be visited."""
+        location = self._location(table, partition_id)
+        location.node_id = new_node_id
+        location.moving_to_node_id = None
+        location.available = True
+
+    def set_available(self, table: str, partition_id: int,
+                      available: bool) -> None:
+        self._location(table, partition_id).available = available
+
+    def locations_on(self, node_id: int
+                     ) -> list[tuple[str, KeyRange, PartitionLocation]]:
+        """Every (table, range, location) whose candidates include
+        ``node_id`` — what failover must deal with when it dies."""
+        out = []
+        for table, entries in self._tables.items():
+            for key_range, location in entries:
+                if node_id in location.candidate_nodes:
+                    out.append((table, key_range, location))
+        return out
 
     def nodes_with_data(self, table: str | None = None) -> set[int]:
         """All nodes currently owning (or receiving) partitions."""

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import dataclasses
 
-COMPONENTS = ("logging", "latching", "locking", "network_io", "disk_io", "other")
+COMPONENTS = ("logging", "latching", "locking", "network_io", "disk_io",
+              "replication", "other")
 
 
 @dataclasses.dataclass
@@ -23,6 +24,8 @@ class CostBreakdown:
     locking: float = 0.0
     network_io: float = 0.0
     disk_io: float = 0.0
+    #: Commit-time synchronous replica shipping (repro.ha).
+    replication: float = 0.0
     other: float = 0.0
 
     def add(self, component: str, seconds: float) -> None:

@@ -59,6 +59,20 @@ def render_series_table(
     return render_table([time_header] + names, rows, title=title)
 
 
+def render_retry_summary(summary: dict[str, int | float],
+                         title: str = "retry summary") -> str:
+    """Render a driver's :meth:`retry_summary` — first-try commits are
+    reported separately from commits that needed retries."""
+    rows = [
+        ["first-try commits", summary.get("first_try_completions", 0)],
+        ["retried commits", summary.get("retried_completions", 0)],
+        ["retries spent", summary.get("retries_total", 0)],
+        ["exhausted (failed)", summary.get("exhausted_failures", 0)],
+        ["retried fraction", summary.get("retried_fraction", 0.0)],
+    ]
+    return render_table(["metric", "value"], rows, title=title)
+
+
 def _fmt(value: typing.Any) -> str:
     if value is None:
         return "-"

@@ -27,7 +27,10 @@ def percentile(values: typing.Sequence[float], q: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
+    interpolated = ordered[low] * (1 - frac) + ordered[high] * frac
+    # Clamp: interpolation between subnormals can round outside the
+    # bracket (e.g. 5e-324 * 0.5 rounds to 0).
+    return min(max(interpolated, ordered[low]), ordered[high])
 
 
 class TimeSeries:

@@ -10,6 +10,7 @@ triggers, receiving the event's value (or its exception).
 from __future__ import annotations
 
 import heapq
+import random
 import typing
 
 from repro.sim.events import Event, Timeout
@@ -86,11 +87,16 @@ class Process(Event):
 class Environment:
     """Event heap, virtual clock, and process factory."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, seed: int | None = 0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._crashes: list[tuple[Process, BaseException]] = []
+        #: The simulation's own RNG stream, for stochastic model inputs
+        #: (fault schedules, jitter).  Seeded so two environments built
+        #: with the same seed replay identically; workload generators
+        #: keep their separate seeded streams.
+        self.rng = random.Random(seed)
 
     @property
     def now(self) -> float:

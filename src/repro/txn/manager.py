@@ -90,6 +90,14 @@ class TransactionManager:
         self._active: dict[int, Transaction] = {}
         self.committed_count = 0
         self.aborted_count = 0
+        #: Optional commit-path generator hook ``(txn, breakdown,
+        #: priority)`` run after the local log force but before the
+        #: commit is acknowledged.  The HA subsystem uses it for
+        #: synchronous replica shipping; ``None`` means no extra work.
+        self.on_commit: typing.Callable | None = None
+        #: Plain-callable counterpart for aborts (no sim time passes):
+        #: lets the replicator drop buffered log records of the loser.
+        self.on_abort: typing.Callable | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -117,6 +125,14 @@ class TransactionManager:
         for log in txn._dirty_logs:
             lsn = log.append(txn.txn_id, "commit")
             yield from log.flush(lsn, breakdown, priority)
+        if self.on_commit is not None and not txn.is_read_only:
+            # Synchronous replication: the commit is only acknowledged
+            # once every live replica holder has the log tail.
+            yield from self.on_commit(txn, breakdown, priority)
+        # A crash-abort (fault injection) may have rolled us back while
+        # the log force was in flight; the abort record it appended
+        # supersedes our commit record during recovery.
+        txn.require_active()
         if immediate_gc:
             for segment, version in txn._deleted:
                 home = version.home or segment
@@ -150,8 +166,13 @@ class TransactionManager:
         for _segment, version in txn._deleted:
             if version.deleted_by == txn.txn_id:
                 version.deleted_by = None
+                # A commit interrupted mid-flush may already have
+                # stamped the delete; the abort wins.
+                version.deleted_ts = None
         for log in txn._dirty_logs:
             log.append(txn.txn_id, "abort")
+        if self.on_abort is not None:
+            self.on_abort(txn)
         txn.state = TxnState.ABORTED
         self._finish(txn)
         self.aborted_count += 1

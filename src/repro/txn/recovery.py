@@ -60,6 +60,7 @@ def analyze(log: LogManager, start_lsn: int = 0
     ``start_lsn``, the set of committed transaction ids, and the count
     of loser transactions whose effects must not be replayed."""
     committed: set[int] = set()
+    aborted: set[int] = set()
     seen: set[int] = set()
     data_records: list[LogRecord] = []
     for record in log.records:
@@ -67,9 +68,16 @@ def analyze(log: LogManager, start_lsn: int = 0
             continue
         if record.kind == "commit":
             committed.add(record.txn_id)
+        if record.kind == "abort":
+            # An abort supersedes a commit of the same transaction —
+            # the pair coexists only when a crash-abort raced a
+            # mid-flight commit, and the abort matches what happened
+            # in memory.
+            aborted.add(record.txn_id)
         if record.kind in ("insert", "update", "delete"):
             seen.add(record.txn_id)
             data_records.append(record)
+    committed -= aborted
     losers = len(seen - committed)
     return data_records, committed, losers
 

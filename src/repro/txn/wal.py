@@ -156,10 +156,17 @@ class LogManager:
 
     def committed_ops_since(self, lsn: int = 0) -> list[LogRecord]:
         """Redo scan: data records of transactions with a flushed-side
-        commit record, in log order (the recovery contract)."""
+        commit record, in log order (the recovery contract).
+
+        An abort record supersedes a commit record of the same
+        transaction — the pair can only coexist when a crash-abort
+        raced a mid-flight commit, and the abort reflects the
+        in-memory outcome.
+        """
         committed = {
             r.txn_id for r in self.records if r.kind == "commit" and r.lsn > lsn
         }
+        committed -= {r.txn_id for r in self.records if r.kind == "abort"}
         return [
             r for r in self.records
             if r.lsn > lsn and r.txn_id in committed

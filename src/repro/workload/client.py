@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import typing
 
+from repro.hardware.disk import DiskFailedError
+from repro.hardware.network import LinkDownError
 from repro.metrics.breakdown import CostBreakdown
 from repro.txn.manager import TransactionAborted
 from repro.txn.locks import LockTimeoutError
@@ -22,6 +24,23 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 #: A query is abandoned after this many conflict-retries.
 MAX_RETRIES = 8
+
+#: First retry waits this long; each further retry doubles it ...
+BACKOFF_BASE_SECONDS = 0.01
+#: ... up to this cap (long enough to ride out a failover window
+#: without hammering the master, short enough to notice recovery).
+BACKOFF_CAP_SECONDS = 0.5
+
+#: Transient errors worth retrying: aborts/conflicts, lock timeouts,
+#: routing races and down nodes (LookupError covers NodeDownError and
+#: PartitionUnavailableError), and hardware faults observed mid-query.
+RETRYABLE = (TransactionAborted, LockTimeoutError, LookupError,
+             DiskFailedError, LinkDownError)
+
+
+def backoff_delay(attempt: int) -> float:
+    """Exponential backoff for the ``attempt``-th retry (0-based)."""
+    return min(BACKOFF_BASE_SECONDS * (2 ** attempt), BACKOFF_CAP_SECONDS)
 
 
 class OltpClient:
@@ -39,6 +58,7 @@ class OltpClient:
         self.mix = mix or DEFAULT_MIX
         self.queries_done = 0
         self.queries_failed = 0
+        self.retries = 0
 
     def _pick(self) -> str:
         roll = self.ctx.rng.random()
@@ -69,7 +89,7 @@ class OltpClient:
         name = self._pick()
         body = TRANSACTIONS[name]
         start = env.now
-        for _attempt in range(MAX_RETRIES):
+        for attempt in range(MAX_RETRIES):
             txn = cluster.txns.begin()
             breakdown = CostBreakdown()
             try:
@@ -80,21 +100,22 @@ class OltpClient:
                     txn, breakdown,
                     immediate_gc=(self.ctx.cc == "locking"),
                 )
-            except (TransactionAborted, LockTimeoutError):
+            except RETRYABLE:
+                # Conflict, lock timeout, routing race, down node, or a
+                # hardware fault observed mid-query: roll back and retry
+                # with exponential backoff — failover may be re-routing
+                # the partition in the meantime.
                 if txn.state.value == "active":
                     cluster.txns.abort(txn)
                 self.driver.note_conflict(name)
-                yield env.timeout(0.01)  # brief backoff before retry
-                continue
-            except LookupError:
-                # Data momentarily unlocatable (routing race): retry.
-                if txn.state.value == "active":
-                    cluster.txns.abort(txn)
-                self.driver.note_conflict(name)
-                yield env.timeout(0.01)
+                self.retries += 1
+                yield env.timeout(backoff_delay(attempt))
                 continue
             self.queries_done += 1
-            self.driver.note_completion(name, start, env.now, breakdown, result)
+            self.driver.note_completion(
+                name, start, env.now, breakdown, result,
+                attempts=attempt + 1,
+            )
             return
         self.queries_failed += 1
-        self.driver.note_failure(name, start, env.now)
+        self.driver.note_failure(name, start, env.now, attempts=MAX_RETRIES)

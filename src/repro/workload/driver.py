@@ -59,18 +59,39 @@ class WorkloadDriver:
         self.conflicts = 0
         self.breakdown_samples: list[tuple[float, CostBreakdown]] = []
         self.results_by_kind: dict[str, int] = {}
+        #: Retry accounting: commits that landed on the first attempt
+        #: vs. after at least one retry, and total retries spent
+        #: (including those of queries that ultimately failed).
+        self.first_try_completions = 0
+        self.retried_completions = 0
+        self.retries_total = 0
+        #: Optional hook ``(kind, start, end, breakdown, result,
+        #: attempts)`` observed on every completion — experiments use
+        #: it to record committed keys for lost-commit verification.
+        self.completion_listener: typing.Callable | None = None
 
     # -- client callbacks -------------------------------------------------
 
     def note_completion(self, kind: str, start: float, end: float,
-                        breakdown: CostBreakdown, result) -> None:
+                        breakdown: CostBreakdown, result,
+                        attempts: int = 1) -> None:
         self.completions.record(end, 1.0)
         self.response_times.record(end, (end - start) * 1000.0)
         self.breakdown_samples.append((end, breakdown))
         self.results_by_kind[kind] = self.results_by_kind.get(kind, 0) + 1
+        if attempts <= 1:
+            self.first_try_completions += 1
+        else:
+            self.retried_completions += 1
+            self.retries_total += attempts - 1
+        if self.completion_listener is not None:
+            self.completion_listener(kind, start, end, breakdown, result,
+                                     attempts)
 
-    def note_failure(self, kind: str, start: float, end: float) -> None:
+    def note_failure(self, kind: str, start: float, end: float,
+                     attempts: int = 1) -> None:
         self.failures.record(end, 1.0)
+        self.retries_total += max(attempts - 1, 0)
 
     def note_conflict(self, kind: str) -> None:
         self.conflicts += 1
@@ -132,6 +153,20 @@ class WorkloadDriver:
             else:
                 out.append((time, watts / rate))
         return out
+
+    def retry_summary(self) -> dict[str, int | float]:
+        """Commit-path retry accounting: first-try commits reported
+        separately from commits that needed retries."""
+        completed = self.first_try_completions + self.retried_completions
+        return {
+            "first_try_completions": self.first_try_completions,
+            "retried_completions": self.retried_completions,
+            "retries_total": self.retries_total,
+            "exhausted_failures": self.total_failed,
+            "retried_fraction": (
+                self.retried_completions / completed if completed else 0.0
+            ),
+        }
 
     def mean_breakdown(self, t0: float | None = None,
                        t1: float | None = None) -> CostBreakdown:

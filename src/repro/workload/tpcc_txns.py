@@ -126,7 +126,7 @@ def new_order(ctx: TpccContext, txn: "Transaction",
         "new_order", (w, d, o_id), txn, breakdown, cc, priority,
     )
     total *= (1 + warehouse[6]) * (1 - customer[14])
-    return {"kind": "new_order", "o_id": o_id, "total": total}
+    return {"kind": "new_order", "w": w, "d": d, "o_id": o_id, "total": total}
 
 
 def payment(ctx: TpccContext, txn: "Transaction",

@@ -1,0 +1,137 @@
+"""Failover: detection, promotion, unavailability, restoration."""
+
+import pytest
+
+from repro.cluster.master import PartitionUnavailableError
+from repro.ha.failover import FailoverCoordinator, FailureDetector
+from repro.ha.faults import FaultInjector
+from repro.ha.placement import PlacementPolicy
+from repro.ha.replication import ReplicationManager
+from tests.ha.conftest import insert_rows, run
+
+
+def protect(env, cluster, k=2):
+    manager = ReplicationManager(
+        cluster, k=k, policy=PlacementPolicy(cluster, rack_width=2)
+    )
+    run(env, manager.protect_all())
+    return manager
+
+
+def read_all(env, cluster, keys):
+    rows = {}
+
+    def work():
+        txn = cluster.txns.begin()
+        for key in keys:
+            rows[key] = yield from cluster.master.read("kv", key, txn)
+        yield from cluster.txns.commit(txn)
+
+    run(env, work())
+    return rows
+
+
+def test_promote_repoints_and_preserves_commits(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 30)
+    manager = protect(env, cluster, k=2)
+    insert_rows(env, cluster, 10, start=100)  # shipped after the base image
+
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    FaultInjector(cluster).apply(
+        FaultInjector(cluster).crash_at(0.0, 1).schedule[0]
+    )
+    run(env, coordinator.node_failed(1))
+
+    assert coordinator.promotions, "every partition should have promoted"
+    assert all(p["from_node"] == 1 and p["to_node"] != 1
+               for p in coordinator.promotions)
+    assert not coordinator.unavailable
+    # The gpt now routes every kv partition away from the dead node.
+    for _table, _kr, loc in cluster.master.gpt.locations_on(1):
+        assert loc.node_id != 1
+    # Committed rows (base image and shipped tail) survive the crash.
+    rows = read_all(env, cluster, list(range(30)) + list(range(100, 110)))
+    assert all(v is not None for v in rows.values())
+    # New commits land on the promoted copies.
+    insert_rows(env, cluster, 5, start=200)
+    rows = read_all(env, cluster, range(200, 205))
+    assert all(v is not None for v in rows.values())
+
+
+def test_promotion_restores_replication_factor(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 10)
+    manager = protect(env, cluster, k=2)
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    cluster.worker(1).machine.crash()
+    run(env, coordinator.node_failed(1))
+    for rs in cluster.catalog.replica_sets.values():
+        assert rs.primary_node_id != 1
+        live = rs.live_replicas(cluster)
+        assert len(live) == 1, "factor k=2 means one live replica again"
+        assert all(r.holder_node_id != rs.primary_node_id for r in live)
+
+
+def test_k1_partition_goes_unavailable_then_restores(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 10)
+    manager = protect(env, cluster, k=1)  # replica sets exist but are empty
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    cluster.worker(1).machine.crash()
+    run(env, coordinator.node_failed(1))
+
+    assert coordinator.unavailable
+    assert not coordinator.promotions
+
+    def reader():
+        txn = cluster.txns.begin()
+        with pytest.raises(LookupError):
+            yield from cluster.master.read("kv", 1, txn)
+        cluster.txns.abort(txn)
+
+    run(env, reader())
+
+    def restart():
+        yield from cluster.worker(1).machine.power_on()
+
+    run(env, restart())
+    run(env, coordinator.node_restored(1))
+    assert not coordinator.unavailable
+    rows = read_all(env, cluster, range(10))
+    assert all(v is not None for v in rows.values())
+
+
+def test_detector_drives_failover_from_heartbeats(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 10)
+    manager = protect(env, cluster, k=2)
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    cluster.monitor.interval = 1.0
+    detector = FailureDetector(cluster, coordinator, miss_threshold=3)
+
+    def script():
+        env.process(cluster.monitor.run())
+        env.process(detector.run())
+        env.process(FaultInjector(cluster).crash_at(5.0, 1).run())
+        yield env.timeout(20.0)
+
+    run(env, script())
+    assert detector.detections and detector.detections[0][1] == 1
+    detected_at = detector.detections[0][0]
+    assert 5.0 < detected_at <= 5.0 + 3 * 1.0 + 2 * 1.0
+    assert coordinator.promotions
+    assert coordinator.recoveries[0]["node_id"] == 1
+
+
+def test_node_failed_is_idempotent(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 5)
+    manager = protect(env, cluster, k=2)
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    cluster.worker(1).machine.crash()
+    run(env, coordinator.node_failed(1))
+    first = len(coordinator.promotions)
+    run(env, coordinator.node_failed(1))
+    assert len(coordinator.promotions) == first
+    assert len(coordinator.recoveries) == 1

@@ -1,0 +1,70 @@
+"""Placement policy: distinct nodes, rack anti-affinity, load awareness."""
+
+import pytest
+
+from repro import Cluster, Environment
+from repro.ha.placement import PlacementPolicy
+from repro.ha.replication import ReplicaSet, SegmentReplica
+
+
+@pytest.fixture()
+def cluster():
+    env = Environment()
+    return Cluster(env, node_count=6, initially_active=6,
+                   buffer_pages_per_node=64)
+
+
+def test_prefers_other_racks(cluster):
+    policy = PlacementPolicy(cluster, rack_width=2)
+    # Primary on node 1 (rack 0); node 0 shares its rack.
+    holders = policy.choose_holders(primary_node_id=1, count=2)
+    ids = [w.node_id for w in holders]
+    assert 1 not in ids
+    assert all(policy.rack_of(n) != policy.rack_of(1) for n in ids)
+
+
+def test_same_rack_used_only_as_last_resort(cluster):
+    policy = PlacementPolicy(cluster, rack_width=2)
+    holders = policy.choose_holders(primary_node_id=1, count=5)
+    ids = [w.node_id for w in holders]
+    assert sorted(ids) == [0, 2, 3, 4, 5]
+    # The rack-mate comes last in preference order.
+    assert ids[-1] == 0
+
+
+def test_excludes_and_degrades(cluster):
+    policy = PlacementPolicy(cluster, rack_width=2)
+    holders = policy.choose_holders(1, 10, exclude={2, 3, 4, 5})
+    assert [w.node_id for w in holders] == [0]  # fewer than asked
+
+
+def test_skips_non_serving_nodes(cluster):
+    cluster.workers[2].machine.crash()
+    cluster.workers[3].port.sever()
+    policy = PlacementPolicy(cluster, rack_width=2)
+    ids = [w.node_id for w in policy.choose_holders(1, 10)]
+    assert 2 not in ids and 3 not in ids
+
+
+def test_balances_replica_count(cluster):
+    policy = PlacementPolicy(cluster, rack_width=2)
+    # Nodes 2 and 3 already hold a replica each; 4 and 5 hold none.
+    rs = ReplicaSet(99, "kv", 1)
+    rs.replicas = [SegmentReplica(2, None, 0.0), SegmentReplica(3, None, 0.0)]
+    cluster.catalog.register_replica_set(rs)
+    ids = [w.node_id for w in policy.choose_holders(1, 2)]
+    assert ids == [4, 5]
+
+
+def test_explicit_rack_id_overrides_width(cluster):
+    cluster.machines[5].rack_id = 0
+    policy = PlacementPolicy(cluster, rack_width=2)
+    assert policy.rack_of(5) == 0
+    assert policy.rack_of(4) == 2
+
+
+def test_deterministic(cluster):
+    policy = PlacementPolicy(cluster, rack_width=2)
+    a = [w.node_id for w in policy.choose_holders(1, 3)]
+    b = [w.node_id for w in policy.choose_holders(1, 3)]
+    assert a == b

@@ -1,0 +1,134 @@
+"""Replication manager: seeding, synchronous shipping, degradation."""
+
+import pytest
+
+from repro.ha.placement import PlacementPolicy
+from repro.ha.replication import REPLICA_BASE_TXN_ID, ReplicationManager
+from tests.ha.conftest import insert_rows, run
+
+
+def kv_partition(cluster):
+    return cluster.workers[1].partitions_for_table("kv")[0]
+
+
+def protect(env, cluster, k=2, rack_width=2):
+    manager = ReplicationManager(
+        cluster, k=k, policy=PlacementPolicy(cluster, rack_width=rack_width)
+    )
+    run(env, manager.protect_all())
+    return manager
+
+
+def test_seed_builds_base_image(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 25)
+    manager = protect(env, cluster, k=2)
+    rs = cluster.catalog.replica_set_for(kv_partition(cluster).partition_id)
+    assert rs is not None
+    assert len(rs.replicas) == 1
+    replica = rs.replicas[0]
+    assert replica.holder_node_id != rs.primary_node_id
+    base = [r for r in replica.log.records
+            if r.txn_id == REPLICA_BASE_TXN_ID and r.kind == "insert"]
+    assert len(base) == 25
+    # Seeding forces the holder's log disk and costs sim time.
+    assert replica.log.flushed_lsn > 0
+    assert env.now > 0
+
+
+def test_commit_ships_log_tail_synchronously(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 5)
+    manager = protect(env, cluster, k=3)
+    rs = cluster.catalog.replica_set_for(kv_partition(cluster).partition_id)
+    assert len(rs.replicas) == 2
+    insert_rows(env, cluster, 7, start=100)
+    for replica in rs.replicas:
+        shipped = [r for r in replica.log.records
+                   if r.kind == "insert" and r.txn_id > 0]
+        assert len(shipped) == 7
+        commits = [r for r in replica.log.records
+                   if r.kind == "commit" and r.txn_id > 0]
+        assert commits, "commit record must be shipped with the tail"
+        # Synchronous: shipped records are flushed, not just appended.
+        assert replica.log.flushed_lsn == replica.log.records[-1].lsn
+    assert manager.commits_shipped >= 1
+    assert manager.records_shipped >= 14
+
+
+def test_abort_discards_buffered_records(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 3)
+    protect(env, cluster, k=2)
+    rs = cluster.catalog.replica_set_for(kv_partition(cluster).partition_id)
+    before = len(rs.replicas[0].log.records)
+
+    def losing():
+        txn = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (500, "loser"), txn)
+        cluster.txns.abort(txn)
+
+    run(env, losing())
+    assert len(rs.replicas[0].log.records) == before
+
+
+def test_read_only_commit_ships_nothing(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 3)
+    manager = protect(env, cluster, k=2)
+
+    def reader():
+        txn = cluster.txns.begin()
+        row = yield from cluster.master.read("kv", 1, txn)
+        assert row is not None
+        yield from cluster.txns.commit(txn)
+
+    run(env, reader())
+    assert manager.commits_shipped == 0
+
+
+def test_factor_degrades_without_doubling_up(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 3)
+    # Only 4 nodes; ask for k=6: at most 3 distinct holders exist.
+    protect(env, cluster, k=6)
+    rs = cluster.catalog.replica_set_for(kv_partition(cluster).partition_id)
+    holders = [r.holder_node_id for r in rs.replicas]
+    assert len(holders) == len(set(holders)) == 3
+
+
+def test_unreachable_holder_goes_stale_commit_succeeds(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 4)
+    manager = protect(env, cluster, k=2)
+    rs = cluster.catalog.replica_set_for(kv_partition(cluster).partition_id)
+    holder_id = rs.replicas[0].holder_node_id
+    cluster.worker(holder_id).machine.crash()
+    insert_rows(env, cluster, 4, start=200)  # commit must not fail
+    assert rs.replicas[0].stale is True
+    assert manager.ship_failures >= 1
+    assert rs.best_replica(cluster) is None
+
+
+def test_reprotect_prunes_stale_and_reseeds(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 4)
+    manager = protect(env, cluster, k=2)
+    partition = kv_partition(cluster)
+    rs = cluster.catalog.replica_set_for(partition.partition_id)
+    first_holder = rs.replicas[0].holder_node_id
+    cluster.worker(first_holder).machine.crash()
+    insert_rows(env, cluster, 4, start=300)  # marks the replica stale
+    run(env, manager.protect_partition(partition))
+    assert len(rs.replicas) == 1
+    assert rs.replicas[0].holder_node_id != first_holder
+    assert not rs.replicas[0].stale
+
+
+def test_k1_registers_no_replicas(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 3)
+    protect(env, cluster, k=1)
+    rs = cluster.catalog.replica_set_for(kv_partition(cluster).partition_id)
+    assert rs is not None and rs.replicas == []
+    assert rs.best_replica(cluster) is None

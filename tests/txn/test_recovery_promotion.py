@@ -1,0 +1,143 @@
+"""Replay a shipped log tail into a fresh partition on a DIFFERENT
+node — the promotion path failover uses (satellite of the HA work).
+
+The WAL stays on the dead node's disk in the model; what a promotion
+replays is the replica's copy of it.  These tests exercise the replay
+mechanics directly: same partition id, new owner, gpt repointed, and
+loser/aborted transactions leaving no trace even across a checkpoint.
+"""
+
+import pytest
+
+from repro import Cluster, Column, Environment, Schema
+from repro.txn import recovery
+
+
+@pytest.fixture()
+def rig():
+    env = Environment()
+    cluster = Cluster(env, node_count=3, initially_active=3,
+                      buffer_pages_per_node=256, segment_max_pages=16,
+                      page_bytes=2048)
+    schema = Schema([Column("id"), Column("v", "str", width=32)], key=("id",))
+    cluster.master.create_table("kv", schema, owner=cluster.workers[0])
+    return env, cluster
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def rows_in(partition):
+    return {v.key: v.values for seg in partition.segments.values()
+            for _p, _s, v in seg.scan_versions()}
+
+
+def promote_to(cluster, target, table="kv"):
+    """Rebuild the table's partition on ``target`` from the old owner's
+    WAL, exactly as FailoverCoordinator._promote does."""
+    source = cluster.workers[0]
+    old = source.partitions_for_table(table)[0]
+    partition = cluster.catalog.rebuild_partition(
+        old.partition_id, table, target.node_id
+    )
+    report = recovery.recover_worker_table(source.wal, partition, table,
+                                           from_checkpoint=False)
+    target.add_partition(partition)
+    for segment in partition.segments.values():
+        target.ensure_hosted(segment)
+    source.remove_partition(old.partition_id)
+    cluster.master.gpt.reassign(table, old.partition_id, target.node_id)
+    return partition, report
+
+
+def test_tail_replays_onto_different_node(rig):
+    env, cluster = rig
+    target = cluster.workers[1]
+
+    def work():
+        txn = cluster.txns.begin()
+        for i in range(15):
+            yield from cluster.master.insert("kv", (i, "v%02d" % i), txn)
+        yield from cluster.txns.commit(txn)
+        txn = cluster.txns.begin()
+        yield from cluster.master.update("kv", 4, (4, "moved"), txn)
+        yield from cluster.master.delete("kv", 9, txn)
+        yield from cluster.txns.commit(txn)
+
+    run(env, work())
+    partition, report = promote_to(cluster, target)
+
+    assert partition.node_id == target.node_id
+    assert report.redone_inserts == 15
+    assert report.redone_updates == 1
+    assert report.redone_deletes == 1
+    contents = rows_in(partition)
+    assert contents[4] == (4, "moved")
+    assert 9 not in contents and len(contents) == 14
+
+    # The gpt routes reads at the new owner now.
+    def read_back():
+        txn = cluster.txns.begin()
+        row = yield from cluster.master.read("kv", 4, txn)
+        assert row == (4, "moved")
+        yield from cluster.txns.commit(txn)
+
+    run(env, read_back())
+
+
+def test_loser_discarded_across_checkpoint(rig):
+    """A transaction that straddles a checkpoint but never commits must
+    not resurrect — even though its pre-checkpoint records are outside
+    a checkpoint-bounded replay and its post-checkpoint ones inside."""
+    env, cluster = rig
+    source = cluster.workers[0]
+    target = cluster.workers[2]
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (1, "keep"), txn)
+        yield from cluster.txns.commit(txn)
+        loser = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (100, "astride"), loser)
+        source.wal.checkpoint(payload=("segment-moved", 99, 1))
+        yield from cluster.master.insert("kv", (101, "astride"), loser)
+        # Crash: the loser never commits.
+
+    run(env, work())
+
+    # Full-log replay (promotion path): both loser records discarded.
+    partition, report = promote_to(cluster, target)
+    assert report.losers_discarded == 1
+    assert set(rows_in(partition)) == {1}
+
+    # Checkpoint-bounded replay (restart path) discards the tail half.
+    shell = cluster.catalog.new_partition("kv", target.node_id)
+    report = recovery.recover_worker_table(source.wal, shell, "kv")
+    assert report.start_lsn > 0
+    assert 101 not in rows_in(shell)
+
+
+def test_abort_record_supersedes_commit(rig):
+    """A crash-abort can land after a commit record is already on disk
+    (the injector aborts a txn suspended inside commit).  Recovery must
+    treat the abort as authoritative and not replay the writes."""
+    env, cluster = rig
+    source = cluster.workers[0]
+    target = cluster.workers[1]
+
+    def work():
+        txn = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (1, "keep"), txn)
+        yield from cluster.txns.commit(txn)
+        doomed = cluster.txns.begin()
+        yield from cluster.master.insert("kv", (2, "zombie"), doomed)
+        # Force the log tail as commit would, then abort: the WAL now
+        # holds insert + commit + abort for the same txn id.
+        source.wal.append(doomed.txn_id, "commit", None, 64)
+        cluster.txns.abort(doomed)
+
+    run(env, work())
+    assert [r.kind for r in source.wal.records if r.kind == "abort"]
+    partition, _report = promote_to(cluster, target)
+    assert set(rows_in(partition)) == {1}
