@@ -1,0 +1,40 @@
+"""Bench: chaos sweep — journaled repartitioning under seeded faults.
+
+Ten seeded fault schedules (crashes with restarts, severed links with
+restores) hit a fig6-style repartitioning under concurrent writers.
+The gate: zero invariant violations on every schedule, and at least
+one schedule completing a move through a chunk-level resume (observed
+as re-shipped bytes on a DONE move).  Reported: per-seed verdicts plus
+the aggregated move/retry economics.
+"""
+
+from repro.experiments.chaos_moves import render_chaos, run_chaos_suite
+
+
+def test_chaos_sweep(benchmark, bench_scale):
+    seeds = tuple(range(10)) if bench_scale == "full" else tuple(range(5))
+    result = benchmark.pedantic(
+        run_chaos_suite, kwargs={"seeds": seeds}, rounds=1, iterations=1
+    )
+    print()
+    print(render_chaos(result))
+
+    assert result.total_violations == 0
+    assert result.any_resumed_completion
+
+    totals = {}
+    for run in result.runs:
+        for key, value in run.move_summary.items():
+            totals[key] = totals.get(key, 0) + value
+    assert totals["open_moves"] == 0
+    assert totals["open_range_moves"] == 0
+    # The sweep is only meaningful if schedules actually interfered.
+    assert totals["retries_total"] > 0
+    assert any(run.move_summary["resumes_total"] > 0 for run in result.runs)
+
+    benchmark.extra_info["seeds"] = len(seeds)
+    benchmark.extra_info["violations"] = result.total_violations
+    benchmark.extra_info["moves"] = totals["moves_total"]
+    benchmark.extra_info["retries"] = totals["retries_total"]
+    benchmark.extra_info["resumes"] = totals["resumes_total"]
+    benchmark.extra_info["bytes_reshipped"] = totals["bytes_reshipped"]

@@ -11,10 +11,19 @@ the ordinary REDO path into partition shells on the holders — then
 re-replicates to get back to k=2.  Every row committed before the
 crash (and the writes committed after it) is still readable.
 
+Act two repartitions the healed cluster while the move target's NIC
+flaps: the journaled mover retries the wire with backoff and finishes
+once the link comes back, clients keep writing through the move (with
+their own retries), and a calm follow-up move completes first-try.
+The closing report shows both ledgers side by side: first-try vs
+retried/resumed moves, and first-try vs retried client commits.
+
 Run:  python examples/failover_demo.py     (a few seconds)
 """
 
 from repro import Cluster, Column, Environment, Schema
+from repro.cluster.master import NoOwnerFoundError
+from repro.core import PhysiologicalPartitioning, Rebalancer
 from repro.ha import (
     FailoverCoordinator,
     FailureDetector,
@@ -22,6 +31,15 @@ from repro.ha import (
     PlacementPolicy,
     ReplicationManager,
 )
+from repro.hardware.network import LinkDownError
+from repro.metrics import render_move_summary
+from repro.txn.locks import LockTimeoutError
+from repro.txn.manager import TransactionAborted
+
+#: Client-visible errors worth a retry: aborts, lock timeouts, and
+#: routing races while a partition is mid-move.
+RETRYABLE = (TransactionAborted, LockTimeoutError, LookupError,
+             LinkDownError, NoOwnerFoundError)
 
 
 def main():
@@ -92,12 +110,90 @@ def main():
         yield from commit_rows(80, 90, "post-failover")
         assert alive == 80
 
+        # Act two: repartition the healed cluster while the move
+        # target's link flaps.  The journaled mover retries the wire
+        # with backoff and completes once the link heals; clients keep
+        # writing through the move with their own retry loop.
+        (source,) = {loc.node_id for _, loc
+                     in cluster.master.gpt.partitions("accounts")}
+        target = next(nid for nid in (1, 2, 3)
+                      if nid != source and cluster.worker(nid).is_serving)
+        cluster.worker(target).port.sever()
+        print(f"\n[{env.now:7.3f}s] link to node {target} severed; moving "
+              f"half of 'accounts' node {source} -> node {target} anyway")
+
+        def heal_link():
+            yield env.timeout(1.5)
+            cluster.worker(target).port.restore()
+            print(f"[{env.now:7.3f}s] link to node {target} restored")
+
+        def client(wid, lo, hi):
+            for key in range(lo, hi):
+                attempts = 0
+                while True:
+                    txn = cluster.txns.begin()
+                    try:
+                        yield from cluster.master.insert(
+                            "accounts", (key, f"mid-move-{wid}"), txn)
+                        yield from cluster.txns.commit(txn)
+                    except RETRYABLE:
+                        if txn.state.value == "active":
+                            cluster.txns.abort(txn)
+                        attempts += 1
+                        yield env.timeout(0.1)
+                        continue
+                    client_stats["retried" if attempts
+                                 else "first_try"] += 1
+                    break
+                yield env.timeout(0.2)
+
+        env.process(heal_link(), name="heal-link")
+        clients = [env.process(client(wid, 1000 + 50 * wid,
+                                      1012 + 50 * wid), name=f"client-{wid}")
+                   for wid in range(2)]
+        rebalancer = Rebalancer(cluster, PhysiologicalPartitioning())
+        yield from rebalancer.scale_out(
+            ["accounts"], [source], [target], fraction=0.5)
+        assert not rebalancer.failed_moves, rebalancer.failed_moves
+        print(f"[{env.now:7.3f}s] repartitioning done despite the outage")
+
+        # A calm counter-move with the link up: first-try economics.
+        yield from rebalancer.scale_out(
+            ["accounts"], [target], [source], fraction=0.5)
+        for proc in clients:
+            yield proc
+
+        txn = cluster.txns.begin()
+        alive = 0
+        keys = list(range(90)) + [1000 + 50 * w + i
+                                  for w in range(2) for i in range(12)]
+        for key in keys:
+            row = yield from cluster.master.read("accounts", key, txn)
+            alive += row is not None
+        yield from cluster.txns.commit(txn)
+        print(f"[{env.now:7.3f}s] {alive}/{len(keys)} rows readable after "
+              f"faulted + calm repartitioning")
+        assert alive == len(keys)
+
+    client_stats = {"first_try": 0, "retried": 0}
     env.run(until=env.process(scenario()))
     print("\nPromotions:")
     for p in coordinator.promotions:
         print(f"  partition {p['partition_id']}: node {p['from_node']} -> "
               f"{p['to_node']}, replayed {p['replayed']} records "
               f"in {p['seconds']:.3f}s")
+
+    # Both retry ledgers, side by side: segment moves and client
+    # commits each report first-try vs retried work.
+    summary = cluster.moves.summary()
+    print()
+    print(render_move_summary(summary))
+    print(f"\nClient commits: {client_stats['first_try']} first-try, "
+          f"{client_stats['retried']} retried")
+    assert summary["moves_total"] >= 2
+    assert summary["retried_moves"] >= 1, summary
+    assert summary["first_try_moves"] >= 1, summary
+    assert summary["open_moves"] == 0 and summary["open_range_moves"] == 0
 
 
 if __name__ == "__main__":

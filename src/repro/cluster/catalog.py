@@ -61,6 +61,15 @@ class Partition:
         #: migration-target partitions so they never claim keys outside
         #: the range that moved to them.
         self.bounds: KeyRange | None = None
+        #: Cleared while this partition is the *receiver* of an
+        #: in-flight range move: the source stays authoritative for
+        #: every key range that has not switched yet, so the target must
+        #: not mint segments for uncovered keys (an insert failing over
+        #: here while the source is down would otherwise create a
+        #: segment spanning the whole unmoved range, colliding with the
+        #: real segments when they arrive).  Restored when the move
+        #: closes.
+        self.accepts_uncovered: bool = True
         #: Secondary B-trees; "indexes ... span only one partition at a
         #: time" (Sect. 4), so they are rebuilt for segments arriving
         #: via migration (see attach_segment).
@@ -103,6 +112,13 @@ class Partition:
         found = self.tree.find(key)
         if found is not None:
             return found  # may be a Forwarding; caller checks
+        if not self.accepts_uncovered:
+            from repro.cluster.worker import RecordNotHereError
+
+            raise RecordNotHereError(
+                f"partition {self.partition_id} is receiving a move and "
+                f"does not yet cover key {key!r}"
+            )
         gap = self._uncovered_gap_around(key)
         return self.new_segment(gap)
 

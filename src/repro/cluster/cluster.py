@@ -100,6 +100,9 @@ class Cluster:
 
         self.master = MasterNode(env, self, self.workers[0], self.catalog)
         self.monitor = ClusterMonitor(env, self.workers)
+        from repro.moves import MoveManager
+
+        self.moves = MoveManager(self)
 
     # -- lookup ----------------------------------------------------------
 

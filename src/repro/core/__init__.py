@@ -7,7 +7,10 @@ helper-node protocol.
 from repro.core.schemes import MoveReport, PartitioningScheme
 from repro.core.physical import PhysicalPartitioning
 from repro.core.logical import LogicalPartitioning
-from repro.core.physiological import PhysiologicalPartitioning
+from repro.core.physiological import (
+    PhysiologicalPartitioning,
+    rollback_range_registration,
+)
 from repro.core.migration import (
     balance_local_disks,
     copy_segment_bytes,
@@ -27,5 +30,6 @@ __all__ = [
     "balance_local_disks",
     "copy_segment_bytes",
     "move_extent_local",
+    "rollback_range_registration",
     "transfer_segment_storage",
 ]

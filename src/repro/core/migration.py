@@ -12,8 +12,9 @@ from __future__ import annotations
 import typing
 
 from repro.hardware import specs
-from repro.hardware.disk import Disk
+from repro.hardware.disk import Disk, DiskFailedError
 from repro.metrics.breakdown import CostBreakdown
+from repro.storage.disk_space import OutOfDiskSpaceError
 from repro.storage.segment import Segment
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -29,10 +30,17 @@ def flush_segment_pages(worker: "WorkerNode", segment: Segment,
                         breakdown: CostBreakdown | None = None,
                         priority: int = 0):
     """Generator: write back the segment's dirty buffered pages so the
-    on-disk extent is current before it is copied."""
+    on-disk extent is current before it is copied.
+
+    Pinned frames are flushed too (flush-under-pin): a pin means a
+    reader/writer holds the frame, not that its current contents may
+    be withheld from the extent — skipping pinned dirty frames would
+    ship a stale on-disk image while the buffered page silently holds
+    newer data.
+    """
     for page in segment.pages:
         frame = worker.buffer._frames.get(page.page_id)
-        if frame is not None and frame.dirty and frame.pins == 0:
+        if frame is not None and frame.dirty:
             yield from worker.buffer._write_back(page.page_id, breakdown, priority)
             frame.dirty = False
 
@@ -71,6 +79,16 @@ def move_extent_local(cluster: "Cluster", worker: "WorkerNode",
     source_disk = worker.disk_space.disk_of(segment.segment_id)
     if source_disk is target_disk:
         return 0
+    # Refuse up front rather than discovering mid-protocol: a full (or
+    # dead) target found after the copy would strand the segment with
+    # its placement already torn down.
+    if target_disk.failed:
+        raise DiskFailedError(f"target disk {target_disk.name} has failed")
+    if worker.disk_space.free_bytes(target_disk) < segment.extent_bytes:
+        raise OutOfDiskSpaceError(
+            f"disk {target_disk.name} lacks room for "
+            f"segment {segment.segment_id}"
+        )
     yield from flush_segment_pages(worker, segment, None, priority)
     nbytes = max(segment.used_bytes, specs.PAGE_BYTES)
     remaining = nbytes
@@ -85,7 +103,14 @@ def move_extent_local(cluster: "Cluster", worker: "WorkerNode",
         first = False
     cluster.directory.unregister(segment.segment_id)
     worker.disk_space.evict(segment)
-    worker.disk_space.place(segment, target_disk)
+    try:
+        worker.disk_space.place(segment, target_disk)
+    except OutOfDiskSpaceError:
+        # A concurrent placement filled the target during our copy I/O:
+        # put the segment back where it was instead of orphaning it.
+        worker.disk_space.place(segment, source_disk)
+        cluster.directory.register(segment.segment_id, worker, source_disk)
+        raise
     cluster.directory.register(segment.segment_id, worker, target_disk)
     return nbytes
 
@@ -100,7 +125,9 @@ def balance_local_disks(cluster: "Cluster", worker: "WorkerNode",
     """
     moves = 0
     while moves < max_moves:
-        disks = worker.disk_space.disks
+        # A failed disk is neither a donor nor a receiver: its extents
+        # are unreadable and writes to it would just raise.
+        disks = [d for d in worker.disk_space.disks if not d.failed]
         if len(disks) < 2:
             return moves
         by_use = sorted(disks, key=worker.disk_space.used_bytes)
@@ -136,29 +163,28 @@ def balance_local_disks(cluster: "Cluster", worker: "WorkerNode",
 def transfer_segment_storage(cluster: "Cluster", segment: Segment,
                              source: "WorkerNode", target: "WorkerNode",
                              breakdown: CostBreakdown | None = None,
-                             priority: int = 0):
+                             priority: int = 0,
+                             fence: tuple[str, int] | None = None,
+                             range_entry=None):
     """Generator: move a segment's physical extent between nodes.
 
-    Flushes dirty pages, reserves a target extent, streams the bytes,
-    then swaps the directory entry so subsequent page I/O lands on the
-    target's disk.  Logical ownership is NOT touched — that is each
-    scheme's business.  Returns the bytes copied.
+    Flushes dirty pages, then hands the transfer to the cluster's
+    :class:`~repro.moves.MoveManager`, which runs the journaled
+    PREPARE -> COPY -> SWITCH -> DONE state machine: chunk-level
+    checkpoints (an interrupted copy resumes, not restarts), bounded
+    retry with backoff on transient wire faults, a per-move deadline,
+    and — when ``fence`` names a ``(table, partition_id)`` — an epoch
+    check at the switch.  On failure the move is rolled back (target
+    extent evicted, journal entry closed) and
+    :class:`~repro.moves.MoveFailedError` raised; the directory still
+    points at the source.
+
+    Logical ownership is NOT touched — that is each scheme's business.
+    Returns the bytes copied.
     """
-    t0 = cluster.env.now
     yield from flush_segment_pages(source, segment, breakdown, priority)
-    source_disk = source.disk_space.disk_of(segment.segment_id)
-    # Both extents exist during the copy; the directory flips at the end.
-    target_disk = target.disk_space.place(segment)
-    try:
-        nbytes = yield from copy_segment_bytes(
-            cluster, segment, source_disk, target_disk, source, target, priority
-        )
-    except BaseException:
-        target.disk_space.evict(segment)
-        raise
-    cluster.directory.unregister(segment.segment_id)
-    source.disk_space.evict(segment)
-    cluster.directory.register(segment.segment_id, target, target_disk)
-    if breakdown is not None:
-        breakdown.add("disk_io", cluster.env.now - t0)
-    return nbytes
+    entry = yield from cluster.moves.transfer_segment(
+        segment, source, target, breakdown=breakdown, priority=priority,
+        fence=fence, range_entry=range_entry,
+    )
+    return entry.bytes_total

@@ -34,12 +34,50 @@ from repro.hardware import specs
 from repro.index.global_table import PartitionLocation
 from repro.index.partition_tree import KeyRange
 from repro.metrics.breakdown import CostBreakdown
+from repro.moves import (
+    ABORTED,
+    COPY,
+    DONE,
+    HANDOVER,
+    MoveFailedError,
+    RangeMoveEntry,
+    SPLIT,
+)
 from repro.txn import LockMode
+from repro.txn.locks import LockTimeoutError
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.catalog import Partition
     from repro.cluster.cluster import Cluster
     from repro.cluster.worker import WorkerNode
+
+
+def rollback_range_registration(cluster: "Cluster",
+                                entry: RangeMoveEntry) -> None:
+    """Undo a range move's master-side registration when **no** segment
+    has switched yet: the dual pointer disappears and the source is the
+    sole owner again, exactly as before the move.  Shared by the
+    scheme's own failure path and failover's journal replay.
+    """
+    gpt = cluster.master.gpt
+    target = cluster.worker(entry.target_node)
+    if entry.mode == HANDOVER:
+        # The registration replaced the source's entry outright;
+        # restore it (the epoch moves forward, never back, so any
+        # stale mover is fenced).
+        registered = gpt.range_of(entry.table, entry.target_partition_id)
+        gpt.unregister(entry.table, entry.target_partition_id)
+        gpt.register(
+            entry.table, registered,
+            PartitionLocation(entry.source_partition_id, entry.source_node,
+                              epoch=(entry.epoch or 0) + 1),
+        )
+    else:
+        gpt.abort_move(entry.table, entry.target_partition_id)
+        gpt.unsplit(entry.table, entry.source_partition_id,
+                    entry.target_partition_id)
+    if entry.target_partition_id in target.partitions:
+        target.remove_partition(entry.target_partition_id)
 
 #: How often the drain watcher re-checks for lingering old transactions.
 DRAIN_POLL_SECONDS = 1.0
@@ -79,19 +117,102 @@ class PhysiologicalPartitioning(PartitioningScheme):
             report.finished_at = env.now
             return report
 
-        # Step 1 — the master is updated first, with dual pointers.
-        target_partition = self._register_move(
+        # Step 1 — the master is updated first, with dual pointers; the
+        # registration style (handover/split) is journaled because a
+        # rollback must undo exactly what was registered.
+        target_partition, mode = self._register_move(
             cluster, partition, source, target, key_range
         )
+        journal = cluster.moves.journal
+        range_entry = journal.open_range_move(
+            table, partition.partition_id, target_partition.partition_id,
+            source.node_id, target.node_id, mode,
+            epoch=cluster.master.gpt.epoch_of(
+                table, target_partition.partition_id
+            ),
+        )
+        journal.advance_range(range_entry, COPY)
 
-        # Steps 2..6 — per segment: drain writers, stream, splice.
-        # Segments are picked from the LIVE tree each iteration because
-        # concurrent inserts may split segments while earlier ones are
-        # being copied; the range is re-read under the partition lock,
-        # where it is stable.
+        yield from self._drive_range(
+            cluster, partition, target_partition, source, target,
+            key_range, range_entry, report, breakdown, priority,
+        )
+        report.finished_at = env.now
+        return report
+
+    def resume_range_move(self, cluster: "Cluster", entry: RangeMoveEntry,
+                          breakdown: CostBreakdown | None = None,
+                          priority: int = 0):
+        """Generator: re-drive a suspended range move from its journal
+        entry (coordinator restarted, or a transient fault aborted the
+        previous drive after some segments had switched).
+
+        Already-moved segments are skipped naturally — they sit behind
+        forwarding pointers in the source tree, which the segment picker
+        ignores — so only the remainder ships.  Returns the resumed
+        :class:`MoveReport`, or None when the partitions are gone.
+        """
+        source = cluster.worker(entry.source_node)
+        target = cluster.worker(entry.target_node)
+        partition = source.partitions.get(entry.source_partition_id)
+        target_partition = target.partitions.get(entry.target_partition_id)
+        if partition is None or target_partition is None:
+            return None
+        key_range = cluster.master.gpt.range_of(
+            entry.table, entry.target_partition_id
+        )
+        report = MoveReport(
+            scheme=self.name, table=entry.table,
+            source_node=entry.source_node, target_node=entry.target_node,
+            started_at=cluster.env.now,
+        )
+        yield from self._drive_range(
+            cluster, partition, target_partition, source, target,
+            key_range, entry, report, breakdown, priority,
+        )
+        report.finished_at = cluster.env.now
+        return report
+
+    def _drive_range(self, cluster: "Cluster", partition: "Partition",
+                     target_partition: "Partition", source: "WorkerNode",
+                     target: "WorkerNode", key_range: KeyRange,
+                     range_entry: RangeMoveEntry, report: MoveReport,
+                     breakdown: CostBreakdown | None = None,
+                     priority: int = 0):
+        """Generator: steps 2..6 — per segment: drain writers, stream,
+        splice — then close the move (finish_move + journal DONE).
+
+        A segment transfer that fails despite the mover's retries
+        degrades the range move instead of crashing the caller's loop:
+        with nothing switched yet the registration is rolled back
+        outright; with segments already serving on the target the move
+        is *suspended* (journal entry stays open, dual pointers stay up,
+        both halves keep serving) for :meth:`resume_range_move`.  Either
+        way :class:`~repro.moves.MoveFailedError` propagates with the
+        partial ``report`` attached.
+
+        Segments are picked from the LIVE tree each iteration because
+        concurrent inserts may split segments while earlier ones are
+        being copied; the range is re-read under the partition lock,
+        where it is stable.
+        """
+        env = cluster.env
         txns = cluster.txns
+        journal = cluster.moves.journal
+        table = partition.table.name
+        fence = (table, target_partition.partition_id)
         moved_ids: set[int] = set()
         while True:
+            if not range_entry.is_open:
+                # Failover resolved the whole range move under us.
+                exc = MoveFailedError(
+                    f"range move {range_entry.move_id} was resolved by "
+                    f"failover: {range_entry.detail}"
+                )
+                self._collect_range_stats(journal, range_entry, report)
+                report.finished_at = env.now
+                exc.report = report
+                raise exc
             segment = self._next_segment(partition, key_range, moved_ids)
             if segment is None:
                 break
@@ -104,7 +225,8 @@ class PhysiologicalPartitioning(PartitioningScheme):
                 seg_range = partition.tree.range_of(segment.segment_id)
                 if source.disk_space.holds(segment.segment_id):
                     nbytes = yield from transfer_segment_storage(
-                        cluster, segment, source, target, breakdown, priority
+                        cluster, segment, source, target, breakdown,
+                        priority, fence=fence, range_entry=range_entry,
                     )
                 else:
                     nbytes = 0  # empty segment: pure metadata handover
@@ -128,10 +250,21 @@ class PhysiologicalPartitioning(PartitioningScheme):
                     payload=("segment-moved", segment.segment_id, target.node_id)
                 )
                 yield from txns.commit(mover, breakdown, priority)
+            except (MoveFailedError, LockTimeoutError) as exc:
+                if mover.state.value == "active":
+                    txns.abort(mover)
+                if not isinstance(exc, MoveFailedError):
+                    # Writer drain stalled past its generous bound —
+                    # degrade like any other failed segment transfer
+                    # instead of crashing the caller's policy loop.
+                    exc = MoveFailedError(f"writer drain failed: {exc}")
+                self._degrade(cluster, range_entry, report, exc)
+                raise exc
             except BaseException:
                 if mover.state.value == "active":
                     txns.abort(mover)
                 raise
+            journal.note_segment_switched(range_entry)
             moved_ids.add(segment.segment_id)
             report.segments_moved += 1
             report.bytes_copied += nbytes
@@ -148,9 +281,50 @@ class PhysiologicalPartitioning(PartitioningScheme):
                 )
 
         # Step 1' — repartitioning done: delete the old pointer.
+        if not range_entry.is_open:
+            exc = MoveFailedError(
+                f"range move {range_entry.move_id} was resolved by "
+                f"failover: {range_entry.detail}"
+            )
+            self._collect_range_stats(journal, range_entry, report)
+            report.finished_at = env.now
+            exc.report = report
+            raise exc
         cluster.master.gpt.finish_move(table, target_partition.partition_id)
-        report.finished_at = env.now
-        return report
+        target_partition.accepts_uncovered = True
+        self._collect_range_stats(journal, range_entry, report)
+        journal.advance_range(range_entry, DONE)
+
+    def _degrade(self, cluster: "Cluster", range_entry: RangeMoveEntry,
+                 report: MoveReport, exc: MoveFailedError) -> None:
+        """A segment transfer gave up: roll the range move back (nothing
+        switched) or suspend it for a later resume (partially switched).
+        """
+        journal = cluster.moves.journal
+        self._collect_range_stats(journal, range_entry, report)
+        if range_entry.is_open:
+            if range_entry.segments_switched == 0:
+                rollback_range_registration(cluster, range_entry)
+                journal.advance_range(range_entry, ABORTED, str(exc))
+            else:
+                report.suspended = True
+                range_entry.detail = f"suspended: {exc}"
+        report.finished_at = cluster.env.now
+        exc.report = report
+
+    @staticmethod
+    def _collect_range_stats(journal, range_entry: RangeMoveEntry,
+                             report: MoveReport) -> None:
+        """Fold the wire-level accounting of the range's segment moves
+        into the report (idempotent: totals, not increments)."""
+        retries = resumes = reshipped = 0
+        for seg_entry in journal.segment_moves_of_range(range_entry.move_id):
+            retries += seg_entry.retries
+            resumes += seg_entry.resumes
+            reshipped += seg_entry.bytes_reshipped
+        report.retries = retries
+        report.resumes = resumes
+        report.bytes_reshipped = reshipped
 
     @staticmethod
     def _next_segment(partition: "Partition", key_range: KeyRange,
@@ -166,9 +340,11 @@ class PhysiologicalPartitioning(PartitioningScheme):
     @staticmethod
     def _register_move(cluster: "Cluster", partition: "Partition",
                        source: "WorkerNode", target: "WorkerNode",
-                       key_range: KeyRange) -> "Partition":
+                       key_range: KeyRange) -> tuple["Partition", str]:
         """Create the receiving partition and set up the master's dual
-        pointers for the moved range."""
+        pointers for the moved range.  Returns the partition and the
+        registration mode (journaled so a rollback knows what to undo).
+        """
         table = partition.table.name
         gpt = cluster.master.gpt
         registered = gpt.range_of(table, partition.partition_id)
@@ -176,6 +352,10 @@ class PhysiologicalPartitioning(PartitioningScheme):
             partition.table, target.node_id
         )
         target_partition.bounds = key_range
+        # Until the move closes, the target serves only segments that
+        # already switched — it must not invent segments for the rest
+        # of the range while the source is merely unreachable.
+        target_partition.accepts_uncovered = False
         target.add_partition(target_partition)
         if key_range.low is None or key_range.low == registered.low:
             # Whole-partition handover: replace the entry outright.
@@ -187,13 +367,13 @@ class PhysiologicalPartitioning(PartitioningScheme):
                     moving_to_node_id=target.node_id,
                 ),
             )
-        else:
-            gpt.split(
-                table, partition.partition_id, key_range.low,
-                target_partition.partition_id, source.node_id,
-            )
-            gpt.begin_move(table, target_partition.partition_id, target.node_id)
-        return target_partition
+            return target_partition, HANDOVER
+        gpt.split(
+            table, partition.partition_id, key_range.low,
+            target_partition.partition_id, source.node_id,
+        )
+        gpt.begin_move(table, target_partition.partition_id, target.node_id)
+        return target_partition, SPLIT
 
     @staticmethod
     def _retire_forwarding(cluster: "Cluster", partition: "Partition",
@@ -227,9 +407,18 @@ class PhysiologicalPartitioning(PartitioningScheme):
             for chunk, target in reversed(assigned):
                 low = chunk[0][0].low
                 high = chunk[-1][0].high
-                report = yield from self.move_range(
-                    cluster, partition, source, target,
-                    KeyRange(low, high), breakdown, cc, priority,
-                )
+                try:
+                    report = yield from self.move_range(
+                        cluster, partition, source, target,
+                        KeyRange(low, high), breakdown, cc, priority,
+                    )
+                except MoveFailedError as exc:
+                    # Completed chunks stay moved; the failed chunk was
+                    # rolled back or suspended by move_range.  Hand the
+                    # full picture to the caller for degradation.
+                    if getattr(exc, "report", None) is not None:
+                        reports.append(exc.report)
+                    exc.reports = reports
+                    raise
                 reports.append(report)
         return reports

@@ -15,6 +15,7 @@ import typing
 from repro.core.schemes import MoveReport, PartitioningScheme
 from repro.cluster.policies import ThresholdPolicy
 from repro.metrics.breakdown import CostBreakdown
+from repro.moves import MoveFailedError
 from repro.storage.buffer import RemoteBufferExtension
 from repro.txn.wal import LogShippingSink
 
@@ -90,9 +91,16 @@ class Rebalancer:
         self.policy = policy or ThresholdPolicy()
         self.helper_protocol = HelperProtocol(cluster)
         self.reports: list[MoveReport] = []
+        #: ``(sim_time, table, source_node, error)`` for every move the
+        #: journal-backed mover gave up on — the policy step degraded
+        #: instead of crashing the loop.
+        self.failed_moves: list[tuple[float, str, int, str]] = []
         self.scale_out_count = 0
         self.scale_in_count = 0
         self._running = False
+        # Suspended range moves are re-driven through this scheme.
+        if hasattr(scheme, "resume_range_move"):
+            cluster.moves.resume_scheme = scheme
 
     # -- direct migration (experiment driver) --------------------------------
 
@@ -119,10 +127,22 @@ class Rebalancer:
         try:
             for table in tables:
                 for source in sources:
-                    reports = yield from self.scheme.migrate_fraction(
-                        self.cluster, table, source, targets, fraction,
-                        breakdown, cc, priority,
-                    )
+                    try:
+                        reports = yield from self.scheme.migrate_fraction(
+                            self.cluster, table, source, targets, fraction,
+                            breakdown, cc, priority,
+                        )
+                    except MoveFailedError as exc:
+                        # The mover rolled back (or suspended) the
+                        # failed range; completed chunks stay moved.
+                        # Degrade this step and keep going — a resume
+                        # round or the next policy tick picks it up.
+                        self.reports.extend(getattr(exc, "reports", []) or [])
+                        self.failed_moves.append(
+                            (self.cluster.env.now, table, source.node_id,
+                             str(exc))
+                        )
+                        continue
                     self.reports.extend(reports)
         finally:
             if helpers:
@@ -148,16 +168,36 @@ class Rebalancer:
         receiver = self.cluster.worker(receiver_id)
         all_reports = []
         for table in tables:
-            reports = yield from self.scheme.migrate_fraction(
-                self.cluster, table, victim, [receiver], 1.0,
-                breakdown, cc, priority,
-            )
+            try:
+                reports = yield from self.scheme.migrate_fraction(
+                    self.cluster, table, victim, [receiver], 1.0,
+                    breakdown, cc, priority,
+                )
+            except MoveFailedError as exc:
+                # Quiescing is best-effort under faults: the victim
+                # simply keeps what could not move (the power-off guard
+                # below already refuses while data remains).
+                all_reports.extend(getattr(exc, "reports", []) or [])
+                self.failed_moves.append(
+                    (self.cluster.env.now, table, victim_id, str(exc))
+                )
+                continue
             all_reports.extend(reports)
         self.reports.extend(all_reports)
         if power_off and victim.disk_space.segment_count() == 0:
             yield from self.cluster.power_off(victim_id)
         self.scale_in_count += 1
         return all_reports
+
+    def resume_interrupted(self, priority: int = 0):
+        """Generator: re-drive every suspended range move in the move
+        journal whose endpoints serve again (crash-recovery for the
+        repartitioning itself).  Returns the resumed reports."""
+        resumed = yield from self.cluster.moves.resume_open_range_moves(
+            priority
+        )
+        self.reports.extend(resumed)
+        return resumed
 
     # -- autonomous policy loop ------------------------------------------------
 
@@ -183,6 +223,12 @@ class Rebalancer:
             decision = self.policy.observe(samples)
             if cooldown > 0:
                 cooldown -= 1
+                continue
+            if self.cluster.moves.journal.open_range_moves():
+                # Finish what an earlier, fault-interrupted step started
+                # before taking on new work.
+                yield from self.resume_interrupted()
+                cooldown = cooldown_intervals
                 continue
             if decision.wants_space_relief:
                 yield from self._handle_space_pressure(

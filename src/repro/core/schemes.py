@@ -38,6 +38,16 @@ class MoveReport:
     conflicts: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
+    # -- fault accounting (filled from the move journal) -----------------
+    #: Chunk transfers retried after a transient wire fault.
+    retries: int = 0
+    #: Retries that continued from a chunk checkpoint instead of byte 0.
+    resumes: int = 0
+    #: Bytes whose chunk had to be re-sent after a mid-copy fault.
+    bytes_reshipped: int = 0
+    #: True when the range move was interrupted after some segments had
+    #: switched and left open (journal entry stays live) for a resume.
+    suspended: bool = False
 
     @property
     def duration(self) -> float:

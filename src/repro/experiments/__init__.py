@@ -16,8 +16,14 @@ from repro.experiments.fig9_failover import (
     run_fig9_single,
 )
 from repro.experiments.scale_in import ScaleInConfig, run_scale_in
+from repro.experiments.chaos_moves import (
+    ChaosConfig,
+    run_chaos,
+    run_chaos_suite,
+)
 
 __all__ = [
+    "ChaosConfig",
     "Fig6Config",
     "Fig9Config",
     "run_fig1",
@@ -29,6 +35,8 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_fig9_single",
+    "run_chaos",
+    "run_chaos_suite",
     "run_power_validation",
     "run_scale_in",
     "ScaleInConfig",

@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments fig8         # helper nodes
     python -m repro.experiments fig9         # extension: failover vs k
     python -m repro.experiments scale-in     # extension: scale-in protocol
+    python -m repro.experiments chaos        # extension: mover chaos sweep
+    python -m repro.experiments chaos --seeds 0 1 2
     python -m repro.experiments all          # everything (long)
 
 ``--quick`` (default) uses reduced parameters; ``--full`` the defaults
@@ -113,6 +115,17 @@ def run_scale_in_cmd(args) -> str:
     return run_scale_in().to_table()
 
 
+def run_chaos_cmd(args) -> str:
+    from repro.experiments import run_chaos_suite
+    from repro.experiments.chaos_moves import render_chaos
+
+    seeds = args.seeds if args.seeds else list(range(3 if args.quick else 10))
+    result = run_chaos_suite(seeds=seeds)
+    if result.total_violations:
+        raise SystemExit(render_chaos(result))
+    return render_chaos(result)
+
+
 COMMANDS = {
     "power": run_power,
     "fig1": run_fig1_cmd,
@@ -123,6 +136,7 @@ COMMANDS = {
     "fig8": run_fig8_cmd,
     "fig9": run_fig9_cmd,
     "scale-in": run_scale_in_cmd,
+    "chaos": run_chaos_cmd,
 }
 
 
@@ -142,6 +156,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scheme",
                         choices=["physical", "logical", "physiological"],
                         help="fig6 only: run a single scheme")
+    parser.add_argument("--seeds", type=int, nargs="*", default=None,
+                        help="chaos only: explicit schedule seeds "
+                             "(default: 0..2 quick, 0..9 full)")
     args = parser.parse_args(argv)
 
     chosen = list(COMMANDS) if args.experiment == "all" else [args.experiment]

@@ -1,0 +1,507 @@
+"""Chaos harness — seeded fault schedules against the journaled mover.
+
+A fig6-style repartitioning (physiological scheme, 50% of a loaded
+table from one data node to a newcomer) runs under concurrent writers
+while a seeded schedule of transient faults — node crashes with later
+restarts, severed links with later restores — hits the two data nodes.
+The master (node 0) is never injured: the paper's coordinator is a
+fixed single point, and the move journal lives in its WAL.
+
+After the schedule drains, the run *quiesces*: every link is restored,
+every crashed node rebooted, the interrupted migration re-driven from
+the move journal.  Then the harness asserts the invariants the
+crash-safe mover promises, whatever the schedule did:
+
+* the move journal is empty — every move completed or rolled back;
+* the global partition table holds no dual pointers and every
+  partition is available on a node that actually has it;
+* every hosted extent is registered in the segment directory at
+  exactly one (node, disk), and none is orphaned (unowned by any
+  partition);
+* every *acknowledged* write is still readable with the value the
+  client saw committed (no lost commits, no zombie segments).
+
+Runs are deterministic: the same seed yields the same fault schedule,
+the same writer interleaving, and the same metrics.  A suite over many
+seeds is the acceptance gate for the mover — zero invariant violations,
+and at least one schedule must complete a move through a *chunk-level
+resume* (observable as ``bytes_reshipped`` > 0 on a DONE move that
+shipped less than twice its payload).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.cluster.cluster import Cluster
+from repro.core import PhysiologicalPartitioning, Rebalancer
+from repro.ha import FaultInjector
+from repro.hardware.disk import DiskFailedError, DiskSpec
+from repro.hardware.network import LinkDownError
+from repro.metrics.report import render_move_summary, render_table
+from repro.moves import DONE, RetryPolicy
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf
+from repro.storage.record import Column, Schema
+from repro.txn.locks import LockTimeoutError
+from repro.txn.manager import TransactionAborted
+from repro.workload.tpcc_gen import fast_insert
+
+#: Client-visible errors a chaos writer retries (same set as the OLTP
+#: client: aborts, lock timeouts, routing races/down nodes, hardware).
+_WRITER_RETRYABLE = (TransactionAborted, LockTimeoutError, LookupError,
+                     DiskFailedError, LinkDownError)
+
+
+@dataclasses.dataclass
+class ChaosConfig:
+    """One chaos run: cluster size, load, schedule shape, mover knobs."""
+
+    seed: int = 0
+
+    # Cluster: master 0 (never injured), source 1, target 2.
+    node_count: int = 3
+    source_node: int = 1
+    target_node: int = 2
+    page_bytes: int = 1024
+    segment_max_pages: int = 8
+    buffer_pages_per_node: int = 512
+    boot_seconds: float = 5.0
+    lock_timeout: float = 2.0
+    #: Data disks are deliberately slow so the repartitioning spans the
+    #: whole fault window (the paper's regime: "the main bottleneck for
+    #: repartitioning seems to be the bandwidth to the storage
+    #: subsystem"); the log disk stays fast so commits are not the
+    #: bottleneck.
+    data_disk_bandwidth: int = 4 * 1024
+    disk_capacity_bytes: int = 4 * 1024 * 1024
+
+    # Load: enough rows for a dozen small segments.
+    rows: int = 1200
+
+    # Mover knobs, scaled to the tiny segments: 4 chunks per extent so
+    # a chunk-level resume is observable, short backoff so schedules
+    # with long outages exhaust retries and exercise rollback/resume.
+    chunk_bytes: int = 2048
+    move_timeout: float = 120.0
+    retry: RetryPolicy = dataclasses.field(default_factory=lambda: RetryPolicy(
+        max_attempts=8, base_delay=0.25, multiplier=2.0,
+        max_delay=8.0, jitter=0.5,
+    ))
+
+    # Timeline.
+    warmup: float = 5.0
+    #: Faults land in [warmup, warmup + fault_span] — sized so the
+    #: slow-disk migration is still in flight for most of it.
+    fault_span: float = 45.0
+    #: Writers keep going this long past the fault window.
+    tail: float = 10.0
+
+    # Fault schedule: outage pairs (crash->restart / sever->restore),
+    # never overlapping on one node so every fault is applicable.
+    fault_pairs: int = 4
+    outage_min: float = 0.5
+    outage_max: float = 8.0
+    fault_kinds: tuple[str, ...] = ("crash", "sever_link")
+
+    # Writers.
+    writers: int = 3
+    writer_interval: float = 0.4
+    writer_retries: int = 8
+
+    fraction: float = 0.5
+    #: Post-quiesce journal re-drive rounds before declaring failure.
+    resume_rounds: int = 5
+
+    @property
+    def duration(self) -> float:
+        return self.warmup + self.fault_span + self.tail
+
+
+@dataclasses.dataclass
+class ChaosRunResult:
+    """Outcome of one seeded schedule."""
+
+    seed: int
+    violations: list[str]
+    faults: list[tuple[float, str, int]]
+    move_summary: dict[str, int]
+    #: A DONE move that resumed from a chunk checkpoint after losing
+    #: in-flight bytes — the metric the acceptance gate looks for.
+    resumed_move_completed: bool
+    acked_writes: int
+    exhausted_writes: int
+    degraded_steps: int
+    resume_rounds_used: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_row(self) -> list:
+        return [
+            self.seed,
+            "ok" if self.ok else f"{len(self.violations)} violations",
+            len(self.faults),
+            self.move_summary.get("moves_total", 0),
+            self.move_summary.get("retries_total", 0),
+            self.move_summary.get("resumes_total", 0),
+            self.move_summary.get("rolled_back_moves", 0),
+            self.move_summary.get("bytes_reshipped", 0),
+            "yes" if self.resumed_move_completed else "no",
+            self.acked_writes,
+            self.exhausted_writes,
+        ]
+
+
+@dataclasses.dataclass
+class ChaosSuiteResult:
+    config: ChaosConfig
+    runs: list[ChaosRunResult]
+
+    HEADERS = ["seed", "verdict", "faults", "moves", "retries", "resumes",
+               "rollbacks", "re-shipped", "resume-done", "acked", "exhausted"]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(r.violations) for r in self.runs)
+
+    @property
+    def any_resumed_completion(self) -> bool:
+        return any(r.resumed_move_completed for r in self.runs)
+
+    def to_table(self) -> str:
+        table = render_table(
+            self.HEADERS, [r.to_row() for r in self.runs],
+            title="chaos — journaled repartitioning under fault schedules",
+        )
+        lines = [table, ""]
+        for run in self.runs:
+            for violation in run.violations:
+                lines.append(f"seed {run.seed}: INVARIANT VIOLATED: "
+                             f"{violation}")
+        lines.append(
+            f"{len(self.runs)} schedules, "
+            f"{self.total_violations} invariant violations, "
+            f"chunk-level resume completed a move: "
+            f"{'yes' if self.any_resumed_completion else 'NO'}"
+        )
+        return "\n".join(lines)
+
+
+# -- schedule ---------------------------------------------------------------
+
+def build_schedule(config: ChaosConfig, rng: random.Random
+                   ) -> list[tuple[float, str, int]]:
+    """Seeded outage pairs: each fault gets its recovery, and outages
+    on one node never overlap (a crash while crashed is unappliable).
+    Returns ``(at, kind, node_id)`` tuples in creation order."""
+    recover = {"crash": "restart", "sever_link": "restore_link"}
+    nodes = (config.source_node, config.target_node)
+    # A restart only completes after the boot delay; keep the node
+    # clear until then so the next fault always finds it applicable.
+    busy_until = {n: 0.0 for n in nodes}
+    events: list[tuple[float, str, int]] = []
+    lo = config.warmup
+    hi = config.warmup + config.fault_span
+    for _ in range(config.fault_pairs):
+        at = rng.uniform(lo, hi)
+        node = rng.choice(nodes)
+        kind = rng.choice(config.fault_kinds)
+        at = max(at, busy_until[node])
+        if at >= hi:
+            continue
+        outage = rng.uniform(config.outage_min, config.outage_max)
+        events.append((at, kind, node))
+        events.append((at + outage, recover[kind], node))
+        busy_until[node] = at + outage + config.boot_seconds + 1.0
+    return events
+
+
+# -- the run ----------------------------------------------------------------
+
+SCHEMA = Schema([Column("id"), Column("v", "str", width=40)], key=("id",))
+
+
+def _disk_specs(config: ChaosConfig) -> tuple[DiskSpec, DiskSpec]:
+    """A fast log disk (kind "hdd" so the worker assigns it the WAL
+    role) plus one slow data disk that paces the migration."""
+    log = DiskSpec(
+        kind="hdd", access_seconds=0.0001,
+        bandwidth_bytes_per_s=100 * 1024 * 1024,
+        capacity_bytes=config.disk_capacity_bytes,
+        idle_watts=0.3, active_watts=0.4,
+    )
+    data = DiskSpec(
+        kind="ssd", access_seconds=0.0001,
+        bandwidth_bytes_per_s=config.data_disk_bandwidth,
+        capacity_bytes=config.disk_capacity_bytes,
+        idle_watts=0.3, active_watts=0.4,
+    )
+    return (log, data)
+
+
+def _build(config: ChaosConfig) -> tuple[Environment, Cluster]:
+    env = Environment(seed=config.seed)
+    cluster = Cluster(
+        env, node_count=config.node_count,
+        initially_active=config.node_count,
+        disk_specs=_disk_specs(config),
+        buffer_pages_per_node=config.buffer_pages_per_node,
+        segment_max_pages=config.segment_max_pages,
+        page_bytes=config.page_bytes,
+        boot_seconds=config.boot_seconds,
+        lock_timeout=config.lock_timeout,
+    )
+    cluster.moves.chunk_bytes = config.chunk_bytes
+    cluster.moves.move_timeout = config.move_timeout
+    cluster.moves.retry = config.retry
+    owner = cluster.worker(config.source_node)
+    cluster.master.create_table("kv", SCHEMA, owner=owner)
+    partition = next(iter(owner.partitions.values()))
+    for i in range(config.rows):
+        fast_insert(owner, partition, (i, "seed-%05d" % i))
+    return env, cluster
+
+
+def check_invariants(env: Environment, cluster: Cluster,
+                     oracle: dict[int, str]) -> list[str]:
+    """Post-quiesce assertions; returns human-readable violations."""
+    violations: list[str] = []
+    journal = cluster.moves.journal
+
+    # 1. Every move completed or was resolved — nothing half-done.
+    for entry in journal.open_segment_moves():
+        violations.append(
+            f"segment move {entry.move_id} still open in {entry.phase}"
+        )
+    for entry in journal.open_range_moves():
+        violations.append(
+            f"range move {entry.move_id} still open in {entry.phase}"
+        )
+
+    # 2. The global partition table: no dual pointers left behind, and
+    # every partition lives where the table says it does.
+    gpt = cluster.master.gpt
+    for table in gpt.tables():
+        for key_range, location in gpt.partitions(table):
+            if location.is_moving:
+                violations.append(
+                    f"{table} partition {location.partition_id} still "
+                    f"dual-pointed at node {location.moving_to_node_id}"
+                )
+            if not location.available:
+                violations.append(
+                    f"{table} partition {location.partition_id} "
+                    f"unavailable"
+                )
+            worker = cluster.worker(location.node_id)
+            if location.partition_id not in worker.partitions:
+                violations.append(
+                    f"{table} partition {location.partition_id} mapped "
+                    f"to node {location.node_id}, which does not have it"
+                )
+
+    # 3. Storage: each hosted extent registered at exactly one
+    # (node, disk), and owned by some partition (no orphans).
+    owned = {
+        seg_id
+        for worker in cluster.workers
+        for partition in worker.partitions.values()
+        for seg_id in partition.segments
+    }
+    hosts: dict[int, list[int]] = {}
+    for worker in cluster.workers:
+        for seg_id, disk in worker.disk_space.placements():
+            hosts.setdefault(seg_id, []).append(worker.node_id)
+            try:
+                dir_worker, dir_disk = cluster.directory.location(seg_id)
+            except KeyError:
+                violations.append(
+                    f"segment {seg_id} placed on node {worker.node_id} "
+                    f"but absent from the directory"
+                )
+                continue
+            if dir_worker is not worker or dir_disk is not disk:
+                violations.append(
+                    f"segment {seg_id}: directory says node "
+                    f"{dir_worker.node_id}/{dir_disk.name}, extent is on "
+                    f"node {worker.node_id}/{disk.name}"
+                )
+            if seg_id not in owned:
+                violations.append(
+                    f"segment {seg_id} on node {worker.node_id} is an "
+                    f"orphan extent (no partition owns it)"
+                )
+    for seg_id, nodes in hosts.items():
+        if len(nodes) > 1:
+            violations.append(
+                f"segment {seg_id} hosted on multiple nodes: {nodes}"
+            )
+
+    # 4. Durability: every acknowledged write reads back as committed.
+    lost: list[tuple[int, object]] = []
+
+    def readback():
+        txn = cluster.txns.begin()
+        for key, expected in sorted(oracle.items()):
+            row = yield from cluster.master.read("kv", key, txn)
+            if row is None or row[1] != expected:
+                lost.append((key, None if row is None else row[1]))
+        yield from cluster.txns.commit(txn)
+
+    env.run(until=env.process(readback(), name="invariant-readback"))
+    for key, got in lost:
+        violations.append(
+            f"acknowledged write lost: key {key} reads "
+            f"{'nothing' if got is None else got!r}"
+        )
+    return violations
+
+
+def run_chaos(config: ChaosConfig | None = None,
+              seed: int | None = None) -> ChaosRunResult:
+    """One seeded schedule, end to end: load, faults, quiesce, verify."""
+    config = config or ChaosConfig()
+    if seed is not None:
+        config = dataclasses.replace(config, seed=seed)
+    env, cluster = _build(config)
+    scheme = PhysiologicalPartitioning()
+    rebalancer = Rebalancer(cluster, scheme)
+
+    # -- fault schedule (its own seeded stream, independent of the
+    # simulation's RNG so timings don't perturb the schedule) ----------
+    schedule_rng = random.Random(config.seed * 7919 + 17)
+    schedule = build_schedule(config, schedule_rng)
+    injector = FaultInjector(cluster)
+    for at, kind, node_id in schedule:
+        injector.at(at, kind, node_id)
+
+    # -- concurrent writers, with an oracle of acknowledged commits ----
+    oracle: dict[int, str] = {}
+    acked = exhausted = 0
+    writer_rng = random.Random(config.seed * 104729 + 31)
+
+    def writer(writer_id: int):
+        nonlocal acked, exhausted
+        seq = 0
+        while env.now < config.duration:
+            yield env.timeout(config.writer_interval)
+            seq += 1
+            if writer_rng.random() < 0.5:
+                key = writer_rng.randrange(config.rows)
+                value = f"w{writer_id}-u{seq}"
+                op = "update"
+            else:
+                key = 10_000 + writer_id * 100_000 + seq
+                value = f"w{writer_id}-i{seq}"
+                op = "insert"
+            for attempt in range(config.writer_retries):
+                txn = cluster.txns.begin()
+                try:
+                    if op == "update":
+                        yield from cluster.master.update(
+                            "kv", key, (key, value), txn
+                        )
+                    else:
+                        yield from cluster.master.insert(
+                            "kv", (key, value), txn
+                        )
+                    yield from cluster.txns.commit(txn)
+                except _WRITER_RETRYABLE:
+                    if txn.state.value == "active":
+                        cluster.txns.abort(txn)
+                    yield env.timeout(min(0.05 * (2 ** attempt), 0.5))
+                    continue
+                # Only now is the write acknowledged to the "client".
+                oracle[key] = value
+                acked += 1
+                break
+            else:
+                exhausted += 1
+
+    # -- the repartitioning step ---------------------------------------
+    def migration():
+        yield env.timeout(config.warmup)
+        yield from rebalancer.scale_out(
+            ["kv"], [config.source_node], [config.target_node],
+            fraction=config.fraction,
+        )
+
+    writer_procs = [
+        env.process(writer(i), name=f"chaos-writer-{i}")
+        for i in range(config.writers)
+    ]
+    injector_proc = env.process(injector.run(), name="chaos-injector")
+    migration_proc = env.process(migration(), name="chaos-migration")
+    env.run(until=AllOf(env, writer_procs + [injector_proc]))
+    env.run(until=migration_proc)
+
+    # -- quiesce: heal everything, then re-drive the journal -----------
+    def quiesce():
+        for worker in cluster.workers:
+            if worker.port.severed:
+                worker.port.restore()
+        boots = [
+            env.process(worker.machine.power_on(),
+                        name=f"quiesce-boot-{worker.node_id}")
+            for worker in cluster.workers if worker.machine.is_crashed
+        ]
+        if boots:
+            yield AllOf(env, boots)
+
+    env.run(until=env.process(quiesce(), name="chaos-quiesce"))
+
+    rounds_used = 0
+
+    def resume_rounds():
+        nonlocal rounds_used
+        for _ in range(config.resume_rounds):
+            if not cluster.moves.journal.open_range_moves():
+                break
+            rounds_used += 1
+            yield from rebalancer.resume_interrupted()
+            yield env.timeout(1.0)
+
+    env.run(until=env.process(resume_rounds(), name="chaos-resume"))
+
+    violations = check_invariants(env, cluster, oracle)
+    journal = cluster.moves.journal
+    resumed_done = any(
+        e.phase == DONE and e.resumes > 0 and e.bytes_reshipped > 0
+        and e.bytes_reshipped < e.bytes_total
+        for e in journal.segment_moves.values()
+    )
+    return ChaosRunResult(
+        seed=config.seed,
+        violations=violations,
+        faults=schedule,
+        move_summary=journal.summary(),
+        resumed_move_completed=resumed_done,
+        acked_writes=acked,
+        exhausted_writes=exhausted,
+        degraded_steps=len(rebalancer.failed_moves),
+        resume_rounds_used=rounds_used,
+    )
+
+
+def run_chaos_suite(seeds: typing.Sequence[int] = tuple(range(10)),
+                    config: ChaosConfig | None = None) -> ChaosSuiteResult:
+    """The acceptance sweep: one run per seed on identical parameters."""
+    config = config or ChaosConfig()
+    runs = [run_chaos(config, seed=seed) for seed in seeds]
+    return ChaosSuiteResult(config=config, runs=runs)
+
+
+def render_chaos(result: ChaosSuiteResult) -> str:
+    parts = [result.to_table()]
+    totals: dict[str, int] = {}
+    for run in result.runs:
+        for key, value in run.move_summary.items():
+            totals[key] = totals.get(key, 0) + value
+    parts.append(render_move_summary(
+        totals, title="move summary (all schedules)"
+    ))
+    return "\n\n".join(parts)

@@ -29,6 +29,9 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.core.physiological import rollback_range_registration
+from repro.moves import ABORTED, FAILED
+from repro.moves.journal import RangeMoveEntry
 from repro.txn.recovery import recover_worker_table
 from repro.txn.wal import LOG_BLOCK_BYTES
 
@@ -100,11 +103,18 @@ class FailoverCoordinator:
             if node_id in visited or dead.wal in txn._dirty_logs:
                 self.cluster.txns.abort(txn)
 
+        # Journal replay first: roll half-copied segment moves back and
+        # resolve interrupted range moves, so the promotion loop below
+        # sees clean (or at least collapsed) locations.
+        self._replay_move_journal(node_id)
+
         promoted = 0
         lost = 0
         for table, key_range, location in self.master.gpt.locations_on(node_id):
             if location.is_moving:
-                if self._resolve_interrupted_move(table, location, node_id):
+                # Fallback for movers that do not journal (record-level
+                # schemes): collapse onto the surviving end, as before.
+                if self._collapse_dual_pointer(table, location, node_id):
                     continue
             if location.node_id != node_id:
                 continue
@@ -135,12 +145,79 @@ class FailoverCoordinator:
             "unavailable": lost,
         })
 
-    def _resolve_interrupted_move(self, table: str,
-                                  location: "PartitionLocation",
-                                  dead_node_id: int) -> bool:
-        """A node died mid-repartitioning: collapse the dual pointer
-        onto the surviving end when that end still serves.  Returns
-        True when the location is fully handled."""
+    # -- move-journal replay -------------------------------------------------
+
+    def _replay_move_journal(self, node_id: int) -> None:
+        """Resolve every open move journal entry involving the dead
+        node.  Pure metadata — segment rollbacks evict the half-copied
+        target extent and close the entry; range moves are either
+        rolled back outright (nothing switched: the pre-move world is
+        restored, so a replica promotion of the *source* partition can
+        proceed normally) or collapsed onto the surviving end (some
+        segments already switched).  Every resolution bumps the
+        governed partition's ownership epoch, fencing any still-running
+        mover process out of its switch."""
+        moves = self.cluster.moves
+        seg_entries, range_entries = moves.journal.open_moves_involving(node_id)
+        for entry in seg_entries:
+            # A segment entry can only be open pre-switch (the SWITCH ->
+            # DONE step has no yield points), so rollback is always
+            # safe: the directory still points at the source extent.
+            moves.rollback_segment_entry(
+                entry, reason=f"node {node_id} died during {entry.phase}"
+            )
+            self._note("move_rolled_back", node_id, detail=(
+                f"segment {entry.segment_id} at chunk {entry.chunks_acked}"
+            ))
+        for entry in range_entries:
+            self._resolve_range_entry(entry, node_id)
+
+    def _resolve_range_entry(self, entry: RangeMoveEntry,
+                             dead_node_id: int) -> None:
+        gpt = self.master.gpt
+        journal = self.cluster.moves.journal
+        if entry.segments_switched == 0:
+            # Nothing reached the target yet: a clean rollback restores
+            # the exact pre-move registration, whichever end died.
+            rollback_range_registration(self.cluster, entry)
+            journal.advance_range(
+                entry, ABORTED, f"node {dead_node_id} died; rolled back"
+            )
+            self._note("move_rolled_back", dead_node_id,
+                       entry.target_partition_id, "range move rolled back")
+            return
+        # Partially switched: collapse the dual pointer onto the
+        # surviving end.  FAILED (not ABORTED) because data already
+        # crossed — unswitched segments on a dead source (or switched
+        # segments on a dead target) need the replica machinery.
+        if entry.source_node == dead_node_id:
+            survivor = entry.target_node
+        else:
+            survivor = entry.source_node
+        if not self.cluster.worker(survivor).is_serving:
+            return  # both ends down; a later failover resolves it
+        if entry.source_node == dead_node_id:
+            gpt.finish_move(entry.table, entry.target_partition_id)
+            target_partition = self.cluster.worker(
+                entry.target_node
+            ).partitions.get(entry.target_partition_id)
+            if target_partition is not None:
+                # Sole owner now — new key regions may grow here again.
+                target_partition.accepts_uncovered = True
+            detail = "source died mid-move; collapsed onto target"
+        else:
+            gpt.abort_move(entry.table, entry.target_partition_id)
+            detail = "target died mid-move; source keeps ownership"
+        journal.advance_range(entry, FAILED, detail)
+        self._note("move_resolved", survivor, entry.target_partition_id,
+                   detail)
+
+    def _collapse_dual_pointer(self, table: str,
+                               location: "PartitionLocation",
+                               dead_node_id: int) -> bool:
+        """A non-journaled mover died mid-repartitioning: collapse the
+        dual pointer onto the surviving end when that end still serves.
+        Returns True when the location is fully handled."""
         if location.node_id == dead_node_id:
             survivor = location.moving_to_node_id
         else:

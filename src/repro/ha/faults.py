@@ -17,6 +17,7 @@ path.)
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import random
 import typing
 
@@ -32,13 +33,35 @@ FAULT_KINDS = ("crash", "restart", "sever_link", "restore_link", "fail_disk")
 _DESTRUCTIVE = ("crash", "sever_link", "fail_disk")
 
 
-@dataclasses.dataclass(frozen=True, order=True)
+#: Schedule-order tie-breaker for same-timestamp events.
+_EVENT_SEQ = itertools.count()
+
+
+@dataclasses.dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled fault."""
+    """One scheduled fault.
+
+    Sort order is ``(at, seq)``: same-timestamp events replay in the
+    order they were scheduled.  Tie-breaking on the event *fields*
+    (the old ``order=True`` behaviour) silently reordered e.g. a
+    ``sever_link`` scheduled before a ``restore_link`` at the same
+    instant (``restore_link`` < ``sever_link`` as strings), inverting
+    the schedule's meaning.  Equality deliberately ignores ``seq`` so
+    identically-seeded schedules still compare equal.
+    """
 
     at: float
     kind: str
     node_id: int
+    #: Monotonically increasing creation sequence number.
+    seq: int = dataclasses.field(
+        default_factory=lambda: next(_EVENT_SEQ), compare=False
+    )
+
+    def __lt__(self, other: "FaultEvent"):
+        if not isinstance(other, FaultEvent):
+            return NotImplemented
+        return (self.at, self.seq) < (other.at, other.seq)
 
 
 class FaultInjector:

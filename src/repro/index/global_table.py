@@ -28,6 +28,11 @@ class PartitionLocation:
     #: (replication factor 1).  Routing refuses unavailable partitions
     #: outright so clients fail fast instead of hanging.
     available: bool = True
+    #: Ownership epoch, bumped whenever the owner is resolved anew
+    #: (move finished/aborted, replica promoted).  Movers capture the
+    #: epoch when they start and must find it unchanged at their switch
+    #: — the fence that stops a stale move from clobbering a promotion.
+    epoch: int = 0
 
     @property
     def candidate_nodes(self) -> list[int]:
@@ -121,6 +126,7 @@ class GlobalPartitionTable:
             raise RuntimeError(f"partition {partition_id} is not moving")
         location.node_id = location.moving_to_node_id
         location.moving_to_node_id = None
+        location.epoch += 1
 
     def abort_move(self, table: str, partition_id: int) -> None:
         """Drop the new pointer: the source remains the owner."""
@@ -128,6 +134,11 @@ class GlobalPartitionTable:
         if not location.is_moving:
             raise RuntimeError(f"partition {partition_id} is not moving")
         location.moving_to_node_id = None
+        location.epoch += 1
+
+    def epoch_of(self, table: str, partition_id: int) -> int:
+        """The partition's current ownership epoch (fencing token)."""
+        return self._location(table, partition_id).epoch
 
     def split(self, table: str, partition_id: int, split_key: typing.Any,
               new_partition_id: int, new_node_id: int) -> None:
@@ -145,6 +156,32 @@ class GlobalPartitionTable:
                 return
         raise KeyError(f"partition {partition_id} not registered for {table}")
 
+    def unsplit(self, table: str, partition_id: int,
+                absorbed_partition_id: int) -> None:
+        """Undo a :meth:`split`: remove the carved-out partition and
+        give its range back to ``partition_id``.  The two ranges must be
+        adjacent (which a split guarantees) — the rollback path for a
+        split-mode range move that never switched a segment."""
+        keeper_range = self.range_of(table, partition_id)
+        absorbed_range = self.range_of(table, absorbed_partition_id)
+        if keeper_range.high == absorbed_range.low:
+            merged = KeyRange(keeper_range.low, absorbed_range.high)
+        elif absorbed_range.high == keeper_range.low:
+            merged = KeyRange(absorbed_range.low, keeper_range.high)
+        else:
+            raise ValueError(
+                f"partitions {partition_id} and {absorbed_partition_id} "
+                f"cover non-adjacent ranges {keeper_range} / {absorbed_range}"
+            )
+        self.unregister(table, absorbed_partition_id)
+        entries = self._tables[table]
+        for i, (key_range, location) in enumerate(entries):
+            if location.partition_id == partition_id:
+                entries[i] = (merged, location)
+                location.epoch += 1
+                return
+        raise KeyError(f"partition {partition_id} not registered for {table}")
+
     def reassign(self, table: str, partition_id: int, new_node_id: int) -> None:
         """Repoint a partition at a new owner (replica promotion): the
         failed node's pointer is replaced, not dual-tracked — the old
@@ -153,6 +190,7 @@ class GlobalPartitionTable:
         location.node_id = new_node_id
         location.moving_to_node_id = None
         location.available = True
+        location.epoch += 1
 
     def set_available(self, table: str, partition_id: int,
                       available: bool) -> None:

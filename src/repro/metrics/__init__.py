@@ -2,12 +2,17 @@
 
 from repro.metrics.breakdown import CostBreakdown
 from repro.metrics.series import TimeSeries, percentile
-from repro.metrics.report import render_series_table, render_table
+from repro.metrics.report import (
+    render_move_summary,
+    render_series_table,
+    render_table,
+)
 
 __all__ = [
     "CostBreakdown",
     "TimeSeries",
     "percentile",
+    "render_move_summary",
     "render_series_table",
     "render_table",
 ]

@@ -73,6 +73,28 @@ def render_retry_summary(summary: dict[str, int | float],
     return render_table(["metric", "value"], rows, title=title)
 
 
+def render_move_summary(summary: dict[str, int],
+                        title: str = "move summary") -> str:
+    """Render a move journal's :meth:`summary` — first-try moves are
+    reported separately from moves that needed retries or a chunk-level
+    resume, mirroring the client-side retry accounting."""
+    rows = [
+        ["moves completed", summary.get("moves_total", 0)],
+        ["first-try moves", summary.get("first_try_moves", 0)],
+        ["retried moves", summary.get("retried_moves", 0)],
+        ["resumed moves", summary.get("resumed_moves", 0)],
+        ["rolled-back moves", summary.get("rolled_back_moves", 0)],
+        ["failed (unresumable)", summary.get("failed_moves", 0)],
+        ["retries spent", summary.get("retries_total", 0)],
+        ["resumes spent", summary.get("resumes_total", 0)],
+        ["bytes shipped", summary.get("bytes_shipped", 0)],
+        ["bytes re-shipped", summary.get("bytes_reshipped", 0)],
+        ["still open (segment)", summary.get("open_moves", 0)],
+        ["still open (range)", summary.get("open_range_moves", 0)],
+    ]
+    return render_table(["metric", "value"], rows, title=title)
+
+
 def _fmt(value: typing.Any) -> str:
     if value is None:
         return "-"

@@ -1,0 +1,48 @@
+"""Bounded retry with exponential backoff and jitter.
+
+Chunk transfers on the wire see transient faults — a severed link that
+an operator restores, a node that crashes and reboots — and the right
+response is to wait and retry the *chunk*, not to unwind the whole
+segment copy.  The policy here is the classic capped exponential with
+full jitter; randomness is drawn from the simulation's seeded RNG so
+fault experiments stay exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transient per-chunk faults."""
+
+    #: Attempts per chunk before the move gives up and rolls back.
+    max_attempts: int = 8
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    #: Fraction of the computed delay randomized away (full jitter at
+    #: 1.0, none at 0.0) — desynchronizes movers retrying the same
+    #: downed link.
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        floor = raw * (1.0 - self.jitter)
+        return floor + rng.uniform(0.0, raw - floor)

@@ -22,6 +22,29 @@ def test_same_seed_same_random_schedule(rig):
     assert build(3) != build(4)
 
 
+def test_same_timestamp_events_replay_in_schedule_order(rig):
+    """Regression: ``sorted`` used to tie-break same-timestamp events
+    on their fields, replaying ``restore_link`` < ``sever_link``
+    alphabetically and inverting an outage scheduled as sever-then-
+    restore.  Ordering must follow scheduling order instead."""
+    env, cluster = rig
+    injector = FaultInjector(cluster)
+    injector.sever_link_at(5.0, 1).restore_link_at(5.0, 1)
+    injector.sever_link_at(2.0, 2)
+
+    assert [e.kind for e in sorted(injector.schedule)] == [
+        "sever_link", "sever_link", "restore_link",
+    ]
+
+    run(env, injector.run())
+    assert [e.kind for e in injector.injected] == [
+        "sever_link", "sever_link", "restore_link",
+    ]
+    # Net effect of sever-then-restore at the same instant: link is up.
+    assert cluster.worker(1).is_serving
+    assert not cluster.worker(2).is_serving
+
+
 def test_master_is_protected(rig):
     env, cluster = rig
     injector = FaultInjector(cluster)
