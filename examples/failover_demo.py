@@ -32,7 +32,7 @@ from repro.ha import (
     ReplicationManager,
 )
 from repro.hardware.network import LinkDownError
-from repro.metrics import render_move_summary
+from repro.metrics import render_kernel_stats, render_move_summary
 from repro.txn.locks import LockTimeoutError
 from repro.txn.manager import TransactionAborted
 
@@ -194,6 +194,17 @@ def main():
     assert summary["retried_moves"] >= 1, summary
     assert summary["first_try_moves"] >= 1, summary
     assert summary["open_moves"] == 0 and summary["open_range_moves"] == 0
+
+    # How much of the run the kernel fast paths absorbed: zero-delay
+    # events that skipped the heap, synchronous resource grants, and
+    # buffer latches taken without ever materialising a Resource.
+    stats = dict(env.kernel_stats())
+    stats["latch_fast_hits"] = sum(
+        w.buffer.latch_fast_hits for w in cluster.workers)
+    stats["latch_contended"] = sum(
+        w.buffer.latch_contended for w in cluster.workers)
+    print()
+    print(render_kernel_stats(stats))
 
 
 if __name__ == "__main__":

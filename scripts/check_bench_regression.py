@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare a fresh --benchmark-json run against a committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BASELINE.json CURRENT.json \
+        [--threshold 0.25]
+
+Exits non-zero if any benchmark shared by both files has a mean more
+than ``threshold`` (default 25%) slower than the baseline.  Benchmarks
+present on only one side are reported but never fail the check, so the
+gate survives adding or retiring scenarios.
+
+CI runs this against ``benchmarks/baselines/bench_kernel_after.json``
+(the locked-in optimized numbers) — a regression means a change ate
+back the kernel fast paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    with open(path) as fh:
+        data = json.load(fh)
+    return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="fresh --benchmark-json output")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed slowdown fraction (default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("no shared benchmarks between baseline and current run",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in shared:
+        ratio = current[name] / baseline[name]
+        flag = ""
+        if ratio > 1 + args.threshold:
+            failures.append(name)
+            flag = "  << REGRESSION"
+        print(f"{name:45s} {baseline[name] * 1e3:9.1f}ms -> "
+              f"{current[name] * 1e3:9.1f}ms  ({ratio:5.2f}x){flag}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:45s} (baseline only — skipped)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:45s} (new — no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark more than {args.threshold:.0%} slower "
+          f"than {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,13 +71,17 @@ def run_fig3_cmd(args) -> str:
 def run_fig6_cmd(args) -> str:
     from repro.experiments import run_fig6
 
+    from repro.experiments.fig6_schemes import SCHEMES
+    from repro.experiments.parallel import run_tasks
+
     config = _fig6_config(args.quick)
-    schemes = [args.scheme] if args.scheme else [
-        "physical", "logical", "physiological",
-    ]
+    schemes = [args.scheme] if args.scheme else list(SCHEMES)
+    results = run_tasks(
+        [(run_fig6, (scheme, config), {}) for scheme in schemes],
+        jobs=args.jobs,
+    )
     parts = []
-    for scheme in schemes:
-        result = run_fig6(scheme, config)
+    for scheme, result in zip(schemes, results):
         parts.append(result.to_table())
         parts.append(
             f"[{scheme}] migration {result.migration_seconds:.0f}s, "
@@ -106,7 +110,7 @@ def run_fig9_cmd(args) -> str:
     from repro.experiments.fig9_failover import quick_fig9_config
 
     config = quick_fig9_config() if args.quick else None
-    return run_fig9(config).to_table()
+    return run_fig9(config, jobs=args.jobs).to_table()
 
 
 def run_scale_in_cmd(args) -> str:
@@ -120,7 +124,7 @@ def run_chaos_cmd(args) -> str:
     from repro.experiments.chaos_moves import render_chaos
 
     seeds = args.seeds if args.seeds else list(range(3 if args.quick else 10))
-    result = run_chaos_suite(seeds=seeds)
+    result = run_chaos_suite(seeds=seeds, jobs=args.jobs)
     if result.total_violations:
         raise SystemExit(render_chaos(result))
     return render_chaos(result)
@@ -159,13 +163,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seeds", type=int, nargs="*", default=None,
                         help="chaos only: explicit schedule seeds "
                              "(default: 0..2 quick, 0..9 full)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep experiments "
+                             "(fig6/fig9/chaos); 0 = one per CPU")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the hottest "
+                             "functions after each experiment")
     args = parser.parse_args(argv)
+    if args.jobs == 0:
+        from repro.experiments.parallel import default_jobs
+
+        args.jobs = default_jobs()
 
     chosen = list(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in chosen:
         start = time.time()
         print(f"=== {name} " + "=" * (60 - len(name)))
-        print(COMMANDS[name](args))
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            output = COMMANDS[name](args)
+            profiler.disable()
+            print(output)
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        else:
+            print(COMMANDS[name](args))
         print(f"--- {name} finished in {time.time() - start:.1f}s wall\n")
     return 0
 

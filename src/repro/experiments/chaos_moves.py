@@ -362,12 +362,21 @@ def check_invariants(env: Environment, cluster: Cluster,
 
 
 def run_chaos(config: ChaosConfig | None = None,
-              seed: int | None = None) -> ChaosRunResult:
-    """One seeded schedule, end to end: load, faults, quiesce, verify."""
+              seed: int | None = None,
+              instrument: typing.Callable[[Environment, Cluster], None]
+              | None = None) -> ChaosRunResult:
+    """One seeded schedule, end to end: load, faults, quiesce, verify.
+
+    ``instrument``, if given, is called with the freshly built
+    ``(env, cluster)`` before anything runs — the determinism harness
+    uses it to attach a checkpoint recorder.
+    """
     config = config or ChaosConfig()
     if seed is not None:
         config = dataclasses.replace(config, seed=seed)
     env, cluster = _build(config)
+    if instrument is not None:
+        instrument(env, cluster)
     scheme = PhysiologicalPartitioning()
     rebalancer = Rebalancer(cluster, scheme)
 
@@ -488,10 +497,20 @@ def run_chaos(config: ChaosConfig | None = None,
 
 
 def run_chaos_suite(seeds: typing.Sequence[int] = tuple(range(10)),
-                    config: ChaosConfig | None = None) -> ChaosSuiteResult:
-    """The acceptance sweep: one run per seed on identical parameters."""
+                    config: ChaosConfig | None = None,
+                    jobs: int = 1) -> ChaosSuiteResult:
+    """The acceptance sweep: one run per seed on identical parameters.
+
+    Seeded schedules are independent simulations, so ``jobs > 1`` fans
+    them across worker processes without changing any result.
+    """
+    from repro.experiments.parallel import run_tasks
+
     config = config or ChaosConfig()
-    runs = [run_chaos(config, seed=seed) for seed in seeds]
+    runs = run_tasks(
+        [(run_chaos, (config,), {"seed": seed}) for seed in seeds],
+        jobs=jobs,
+    )
     return ChaosSuiteResult(config=config, runs=runs)
 
 

@@ -233,14 +233,23 @@ def migration_tables() -> list[str]:
 
 
 def run_fig6(scheme: str | PartitioningScheme,
-             config: Fig6Config | None = None) -> Fig6Result:
-    """One full Fig. 6 (or Fig. 8, with helpers) run for one scheme."""
+             config: Fig6Config | None = None,
+             instrument: typing.Callable[[Environment, Cluster], None]
+             | None = None) -> Fig6Result:
+    """One full Fig. 6 (or Fig. 8, with helpers) run for one scheme.
+
+    ``instrument``, if given, is called with the freshly built
+    ``(env, cluster)`` before the workload starts — the determinism
+    harness uses it to attach a checkpoint recorder.
+    """
     config = config or Fig6Config()
     if isinstance(scheme, str):
         scheme_obj = SCHEMES[scheme]()
     else:
         scheme_obj = scheme
     env, cluster = build_fig6_cluster(config)
+    if instrument is not None:
+        instrument(env, cluster)
     ctx = TpccContext(cluster, config.tpcc, cc=config.cc)
     driver = WorkloadDriver(
         cluster, ctx, clients=config.clients,
@@ -315,9 +324,19 @@ def run_fig6(scheme: str | PartitioningScheme,
     return result
 
 
-def run_fig6_all(config: Fig6Config | None = None) -> dict[str, Fig6Result]:
-    """All three schemes on identical (independently seeded) clusters."""
-    return {name: run_fig6(name, config) for name in SCHEMES}
+def run_fig6_all(config: Fig6Config | None = None,
+                 jobs: int = 1) -> dict[str, Fig6Result]:
+    """All three schemes on identical (independently seeded) clusters.
+
+    ``jobs > 1`` runs the schemes in parallel worker processes; each
+    scheme's simulation is independent, so the results are identical to
+    a sequential sweep.
+    """
+    from repro.experiments.parallel import run_tasks
+
+    results = run_tasks([(run_fig6, (name, config), {}) for name in SCHEMES],
+                        jobs=jobs)
+    return dict(zip(SCHEMES, results))
 
 
 def quick_fig6_config() -> Fig6Config:

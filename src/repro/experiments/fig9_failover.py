@@ -313,14 +313,21 @@ def run_fig9_single(k: int, config: Fig9Config | None = None) -> Fig9KResult:
     )
 
 
-def run_fig9(config: Fig9Config | None = None) -> Fig9Result:
-    """The full sweep over the configured replication factors."""
+def run_fig9(config: Fig9Config | None = None,
+             jobs: int = 1) -> Fig9Result:
+    """The full sweep over the configured replication factors.
+
+    Each replication factor is an independent simulation; ``jobs > 1``
+    spreads the sweep over worker processes with identical results.
+    """
+    from repro.experiments.parallel import run_tasks
+
     config = config or Fig9Config()
-    runs = {
-        k: run_fig9_single(k, config)
-        for k in config.replication_factors
-    }
-    return Fig9Result(config=config, runs=runs)
+    ks = list(config.replication_factors)
+    results = run_tasks(
+        [(run_fig9_single, (k, config), {}) for k in ks], jobs=jobs,
+    )
+    return Fig9Result(config=config, runs=dict(zip(ks, results)))
 
 
 def quick_fig9_config() -> Fig9Config:

@@ -1,0 +1,53 @@
+"""Fan independent experiment runs across worker processes.
+
+Every sweep in this package (fig6 schemes, fig9 replication factors,
+chaos seeds) is a set of *fully independent* simulations: each run
+builds its own :class:`~repro.sim.engine.Environment` from its own
+seeds, so runs share no state and their results are pure functions of
+their arguments.  That makes them safe to farm out to worker processes
+— and means ``jobs=1`` and ``jobs=N`` are required to produce identical
+results, which ``tests/determinism`` asserts.
+
+The task unit is ``(fn, args, kwargs)`` with ``fn`` a module-level
+callable and the arguments and return value picklable (all the result
+dataclasses here are plain data).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import typing
+
+Task = tuple[typing.Callable, tuple, dict]
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0``/unset: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def _invoke(task: Task):
+    fn, args, kwargs = task
+    return fn(*args, **kwargs)
+
+
+def run_tasks(tasks: typing.Iterable[Task], jobs: int | None = None) -> list:
+    """Run every task, returning results in task order.
+
+    ``jobs=None`` uses one worker per CPU; ``jobs<=1`` (or a single
+    task) runs inline in this process with no multiprocessing at all.
+    Workers are forked where the platform supports it (cheap, no
+    re-import) and spawned otherwise.
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_invoke(task) for task in tasks]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(_invoke, tasks)

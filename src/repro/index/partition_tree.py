@@ -115,9 +115,16 @@ class PartitionTree:
 
     def find(self, key: typing.Any) -> typing.Any | None:
         """Segment (or Forwarding) whose range contains ``key``."""
+        # KeyRange.contains, inlined: this lookup sits on every routed
+        # record operation.
         for key_range, target in self._entries.values():
-            if key_range.contains(key):
-                return target
+            low = key_range.low
+            if low is not None and key < low:
+                continue
+            high = key_range.high
+            if high is not None and key >= high:
+                continue
+            return target
         return None
 
     def find_range(self, key_range: KeyRange) -> list[typing.Any]:

@@ -3,6 +3,7 @@
 from repro.metrics.breakdown import CostBreakdown
 from repro.metrics.series import TimeSeries, percentile
 from repro.metrics.report import (
+    render_kernel_stats,
     render_move_summary,
     render_series_table,
     render_table,
@@ -12,6 +13,7 @@ __all__ = [
     "CostBreakdown",
     "TimeSeries",
     "percentile",
+    "render_kernel_stats",
     "render_move_summary",
     "render_series_table",
     "render_table",

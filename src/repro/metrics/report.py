@@ -107,3 +107,21 @@ def _fmt(value: typing.Any) -> str:
             return f"{value:.1f}"
         return f"{value:.4f}"
     return str(value)
+
+
+def render_kernel_stats(stats: dict[str, int | float],
+                        title: str = "kernel stats") -> str:
+    """Render :meth:`Environment.kernel_stats` (plus any extra counters
+    the caller merged in, e.g. a buffer pool's latch fast-path hits)."""
+    rows = [
+        ["events processed", stats.get("events_processed", 0)],
+        ["heap scheduled", stats.get("heap_scheduled", 0)],
+        ["zero-delay fast-pathed", stats.get("fast_scheduled", 0)],
+        ["fast-path fraction", stats.get("fast_fraction", 0.0)],
+        ["heap peak depth", stats.get("heap_peak", 0)],
+        ["resource fast grants", stats.get("resource_fast_grants", 0)],
+    ]
+    for key in ("latch_fast_hits", "latch_contended"):
+        if key in stats:
+            rows.append([key.replace("_", " "), stats[key]])
+    return render_table(["counter", "value"], rows, title=title)

@@ -9,6 +9,7 @@ triggers, receiving the event's value (or its exception).
 
 from __future__ import annotations
 
+import collections
 import heapq
 import random
 import typing
@@ -33,6 +34,8 @@ class Process(Event):
     environment escalates the error out of :meth:`Environment.run`.
     """
 
+    __slots__ = ("_generator", "name", "_waiting_on")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: str | None = None):
         if not hasattr(generator, "send"):
@@ -56,11 +59,11 @@ class Process(Event):
     def _step(self, event: Event) -> None:
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self._generator.send(event.value)
+            if event._ok:
+                target = self._generator.send(event._value)
             else:
                 event.defused = True
-                target = self._generator.throw(event.value)
+                target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -77,7 +80,12 @@ class Process(Event):
             self.env._note_crash(self, error)
             return
         self._waiting_on = target
-        target.add_callback(self._step)
+        # Inlined Event.add_callback — this is the hottest call site in
+        # the whole kernel.
+        if target._processed:
+            self.env._call_soon(lambda: self._step(target))
+        else:
+            target.callbacks.append(self._step)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "alive" if self.is_alive else "finished"
@@ -90,8 +98,24 @@ class Environment:
     def __init__(self, initial_time: float = 0.0, seed: int | None = 0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
+        # Zero-delay events (succeed/fail deliveries, process bootstraps,
+        # immediate grants) skip the heap entirely: they are appended to
+        # this FIFO and drained at the current clock value.  Ordering is
+        # preserved because a heap entry at time == now can only have been
+        # scheduled *before* the clock reached now (delay > 0), hence
+        # before any zero-delay event created at now — so "heap entries
+        # at now first, then the FIFO, then advance" replays the exact
+        # global (time, seq) order the single-heap kernel produced.
+        self._fast: collections.deque[Event] = collections.deque()
         self._seq = 0
         self._crashes: list[tuple[Process, BaseException]] = []
+        # Lightweight kernel counters (see :meth:`kernel_stats`): plain
+        # int bumps, always on; rendering them is the opt-in part.
+        self.events_processed = 0
+        self.heap_scheduled = 0
+        self.fast_scheduled = 0
+        self.heap_peak = 0
+        self.resource_fast_grants = 0
         #: The simulation's own RNG stream, for stochastic model inputs
         #: (fault schedules, jitter).  Seeded so two environments built
         #: with the same seed replay identically; workload generators
@@ -106,14 +130,22 @@ class Environment:
     # -- scheduling ------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float) -> None:
+        if delay == 0:
+            self.fast_scheduled += 1
+            self._fast.append(event)
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
+        self.heap_scheduled += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        if len(self._heap) > self.heap_peak:
+            self.heap_peak = len(self._heap)
 
     def _queue_event(self, event: Event) -> None:
         """Queue an already-triggered event for callback processing now."""
-        self._schedule(event, 0)
+        self.fast_scheduled += 1
+        self._fast.append(event)
 
     def _call_soon(self, thunk: typing.Callable[[], None]) -> None:
         event = Event(self)
@@ -139,6 +171,11 @@ class Environment:
         """Launch ``generator`` as a new process, returning its handle."""
         return Process(self, generator, name=name)
 
+    def immediate(self, value: typing.Any = None) -> Event:
+        """An already-succeeded event: yielding it costs exactly one
+        zero-delay scheduling round, same as a freshly-granted request."""
+        return Event(self).succeed(value)
+
     def run(self, until: float | Event | None = None) -> typing.Any:
         """Run the simulation.
 
@@ -160,18 +197,31 @@ class Environment:
                     f"run(until={stop_time}) is in the past (now={self._now})"
                 )
 
-        while self._heap:
-            when, _seq, event = self._heap[0]
-            if stop_time is not None and when > stop_time:
-                self._now = stop_time
-                return None
-            heapq.heappop(self._heap)
-            self._now = when
+        heap = self._heap
+        fast = self._fast
+        heappop = heapq.heappop
+        while heap or fast:
+            # Heap entries already due (time == now) predate — and thus
+            # must run before — anything sitting in the zero-delay FIFO;
+            # only once both are exhausted may the clock advance.
+            if heap and heap[0][0] <= self._now:
+                event = heappop(heap)[2]
+            elif fast:
+                event = fast.popleft()
+            else:
+                when = heap[0][0]
+                if stop_time is not None and when > stop_time:
+                    self._now = stop_time
+                    return None
+                event = heappop(heap)[2]
+                self._now = when
+            self.events_processed += 1
             event._processed = True
             callbacks, event.callbacks = event.callbacks, []
             for callback in callbacks:
                 callback(event)
-            self._raise_orphan_crashes()
+            if self._crashes:
+                self._raise_orphan_crashes()
             if stop_event is not None and stop_event.triggered:
                 if not stop_event.ok:
                     stop_event.defused = True
@@ -193,4 +243,23 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._fast:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
+
+    def kernel_stats(self) -> dict[str, int | float]:
+        """Counters for the kernel's own machinery (events, fast paths).
+
+        Always collected (plain integer bumps); rendering is opt-in via
+        :func:`repro.metrics.report.render_kernel_stats`.
+        """
+        scheduled = self.heap_scheduled + self.fast_scheduled
+        return {
+            "events_processed": self.events_processed,
+            "heap_scheduled": self.heap_scheduled,
+            "fast_scheduled": self.fast_scheduled,
+            "fast_fraction": (self.fast_scheduled / scheduled
+                              if scheduled else 0.0),
+            "heap_peak": self.heap_peak,
+            "resource_fast_grants": self.resource_fast_grants,
+        }

@@ -24,6 +24,8 @@ class Event:
     registered callbacks at the current simulation time.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: list[typing.Callable[["Event"], None]] = []
@@ -58,11 +60,14 @@ class Event:
 
     def succeed(self, value: typing.Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._queue_event(self)
+        # Inlined Environment._queue_event (hot path).
+        env = self.env
+        env.fast_scheduled += 1
+        env._fast.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -92,10 +97,17 @@ class Event:
 class Timeout(Event):
     """An event that triggers after ``delay`` units of simulated time."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: typing.Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
+        # Event.__init__ inlined: timeouts are the single most common
+        # allocation in any run, and the extra call shows up.
+        self.env = env
+        self.callbacks = []
+        self._processed = False
+        self.defused = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -110,6 +122,8 @@ class Timeout(Event):
 
 class _Condition(Event):
     """Base for events composed of several child events."""
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, env: "Environment", events: typing.Sequence[Event]):
         super().__init__(env)
@@ -138,6 +152,8 @@ class AllOf(_Condition):
     propagated to waiters).
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
@@ -152,6 +168,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Triggers once *any* child event has succeeded."""
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:

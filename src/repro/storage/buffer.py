@@ -15,6 +15,7 @@ components.
 from __future__ import annotations
 
 import collections
+import heapq
 import typing
 
 from repro.hardware import specs
@@ -40,11 +41,14 @@ class PageIO(typing.Protocol):  # pragma: no cover - typing aid
 
 
 class _Frame:
-    __slots__ = ("pins", "dirty")
+    __slots__ = ("pins", "dirty", "stamp")
 
     def __init__(self):
         self.pins = 0
         self.dirty = False
+        #: Monotonic LRU stamp: reassigned on every insertion and every
+        #: hit, so ascending stamp order equals the pool's LRU order.
+        self.stamp = 0
 
 
 class RemoteBufferExtension:
@@ -125,12 +129,27 @@ class BufferPool:
         self.name = name
         self._resolver = resolver
         self._frames: collections.OrderedDict[int, _Frame] = collections.OrderedDict()
+        # Latch Resources exist only for pages with *actual* contention;
+        # the common case holds the latch via ``_fast_latched`` with no
+        # Resource, no queue, and no tracker updates.  A page appears in
+        # ``_fast_latched`` while its latch is held on the fast path; the
+        # value is the placeholder Request seated in the upgraded
+        # Resource if contention arrived mid-hold, else None.
         self._latches: dict[int, Resource] = {}
+        self._fast_latched: dict[int, typing.Any] = {}
+        # Lazy min-heap of (stamp, page_id) eviction candidates: entries
+        # are pushed when a frame's pin count drops to zero and verified
+        # against the frame's current stamp when popped, so
+        # ``_pick_victim`` never scans pinned frames.
+        self._unpinned: list[tuple[int, int]] = []
+        self._stamp = 0
         self.remote_extension: RemoteBufferExtension | None = None
         self.hits = 0
         self.misses = 0
         self.remote_hits = 0
         self.evictions = 0
+        self.latch_fast_hits = 0
+        self.latch_contended = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -148,24 +167,37 @@ class BufferPool:
 
     # -- core protocol -----------------------------------------------------
 
-    def _latch(self, page_id: int) -> Resource:
-        latch = self._latches.get(page_id)
-        if latch is None:
-            latch = Resource(self.env, capacity=1, name=f"{self.name}.latch{page_id}")
-            self._latches[page_id] = latch
-        return latch
-
     def fetch(self, page_id: int, breakdown: CostBreakdown | None = None,
               priority: int = 0):
         """Generator: make the page resident and pin it.
 
         Concurrent fetchers of the same non-resident page queue on its
-        latch, so only one disk read is issued.
+        latch, so only one disk read is issued.  Uncontended latches
+        (the overwhelming majority) are held via ``_fast_latched`` with
+        no Resource at all; a queued Resource is materialised only when
+        a second fetcher actually collides, and reaped once idle.
         """
-        latch = self._latch(page_id)
         t0 = self.env.now
-        request = latch.request(priority)
-        yield request
+        latch = self._latches.get(page_id)
+        if latch is None and page_id not in self._fast_latched:
+            self.latch_fast_hits += 1
+            self._fast_latched[page_id] = None
+            request = None
+            # One zero-delay hop — exactly the trip an uncontended
+            # Resource grant costs, so the clock sees no difference.
+            yield self.env.immediate()
+        else:
+            self.latch_contended += 1
+            if latch is None:
+                # Contention against a fast-path hold: upgrade by
+                # seating the holder in a fresh Resource (no grant
+                # event — it already holds the latch) and queue behind.
+                latch = Resource(self.env, capacity=1,
+                                 name=f"{self.name}.latch{page_id}")
+                self._latches[page_id] = latch
+                self._fast_latched[page_id] = latch._admit_holder()
+            request = latch.request(priority)
+            yield request
         if breakdown is not None:
             breakdown.add("latching", self.env.now - t0)
         try:
@@ -173,6 +205,8 @@ class BufferPool:
             if frame is not None:
                 self.hits += 1
                 self._frames.move_to_end(page_id)
+                self._stamp += 1
+                frame.stamp = self._stamp
                 frame.pins += 1
                 yield from self.cpu.execute(specs.CPU_BUFFER_HIT_SECONDS, priority)
                 return
@@ -182,6 +216,8 @@ class BufferPool:
             # overshoot its capacity while reads are in flight.
             frame = _Frame()
             frame.pins = 1
+            self._stamp += 1
+            frame.stamp = self._stamp
             self._frames[page_id] = frame
             try:
                 if (self.remote_extension is not None
@@ -203,7 +239,25 @@ class BufferPool:
                 raise
             frame.dirty = dirty
         finally:
+            self._release_latch(page_id, request)
+
+    def _release_latch(self, page_id: int, request) -> None:
+        if request is not None:
+            latch = request.resource
             latch.release(request)
+            if (not latch.users and not latch.queue_length
+                    and page_id not in self._fast_latched
+                    and self._latches.get(page_id) is latch):
+                del self._latches[page_id]
+            return
+        placeholder = self._fast_latched.pop(page_id, None)
+        if placeholder is not None:
+            # Waiters arrived during the fast-path hold: hand over.
+            latch = placeholder.resource
+            latch.release(placeholder)
+            if (not latch.users and not latch.queue_length
+                    and self._latches.get(page_id) is latch):
+                del self._latches[page_id]
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
         frame = self._frames.get(page_id)
@@ -212,6 +266,13 @@ class BufferPool:
         frame.pins -= 1
         if dirty:
             frame.dirty = True
+        if frame.pins == 0:
+            heapq.heappush(self._unpinned, (frame.stamp, page_id))
+            if len(self._unpinned) > max(4 * self.capacity_pages, 1024):
+                self._unpinned = [(f.stamp, pid)
+                                  for pid, f in self._frames.items()
+                                  if f.pins == 0]
+                heapq.heapify(self._unpinned)
 
     def _make_room(self, breakdown: CostBreakdown | None, priority: int):
         """Generator: evict until one frame is free.
@@ -226,6 +287,9 @@ class BufferPool:
             victim_id = self._pick_victim()
             frame = self._frames.pop(victim_id)
             self.evictions += 1
+            latch = self._latches.get(victim_id)
+            if latch is not None and not latch.users and not latch.queue_length:
+                del self._latches[victim_id]
             if not frame.dirty:
                 continue
             if self.remote_extension is not None:
@@ -239,9 +303,19 @@ class BufferPool:
                 yield from self._write_back(victim_id, breakdown, priority)
 
     def _pick_victim(self) -> int:
-        for page_id, frame in self._frames.items():  # LRU order
-            if frame.pins == 0:
-                return page_id
+        # Ascending stamp order is the pool's LRU order, so the smallest
+        # *valid* heap entry is exactly the frame the full LRU scan would
+        # have chosen.  Entries whose page was evicted, re-pinned, or
+        # re-stamped since they were pushed are discarded lazily here.
+        heap = self._unpinned
+        while heap:
+            stamp, page_id = heap[0]
+            frame = self._frames.get(page_id)
+            if frame is None or frame.stamp != stamp or frame.pins:
+                heapq.heappop(heap)
+                continue
+            heapq.heappop(heap)
+            return page_id
         raise BufferPoolExhaustedError(
             f"{self.name}: all {self.capacity_pages} frames pinned"
         )
@@ -270,7 +344,14 @@ class BufferPool:
 
     def discard(self, page_id: int) -> None:
         """Drop a page without write-back (its segment left this node)."""
-        frame = self._frames.pop(page_id, None)
+        frame = self._frames.get(page_id)
         if frame is not None and frame.pins > 0:
+            # Checked before touching the frame table: a rejected
+            # discard must leave the pinned page resident, not half-drop
+            # it and raise.
             raise RuntimeError(f"discarding pinned page {page_id}")
-        self._latches.pop(page_id, None)
+        if frame is not None:
+            del self._frames[page_id]
+        latch = self._latches.get(page_id)
+        if latch is not None and not latch.users and not latch.queue_length:
+            del self._latches[page_id]

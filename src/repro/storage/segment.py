@@ -43,6 +43,13 @@ class Segment:
         #: key -> list of (page_no, slot), newest version first.
         self.index: BPlusTree = BPlusTree()
         self._fill_cursor = 0
+        # Upper bound on any page's free_bytes.  Raised whenever a page
+        # gains room (new page, version removed), tightened to the exact
+        # maximum whenever a full first-fit scan fails.  Inserts only
+        # shrink free space, so the bound stays valid without updates on
+        # the hot path — and lets ``_find_page_with_room`` skip the O(n)
+        # scan outright when the incoming version provably cannot fit.
+        self._max_free_ub = 0
 
     # -- capacity ----------------------------------------------------------
 
@@ -81,7 +88,14 @@ class Segment:
         extent until vacuum reclaims old versions.
         """
         page_no = self._find_page_with_room(version, allow_overflow)
-        slot = self.pages[page_no].insert(version)
+        page = self.pages[page_no]
+        slot = page.insert(version)
+        # Raise the bound only to the page's *post-insert* free space: a
+        # freshly appended page's empty-page headroom is consumed right
+        # here, and advertising it would leave the bound pinned high and
+        # the scan-skip below permanently disarmed.
+        if page.free_bytes > self._max_free_ub:
+            self._max_free_ub = page.free_bytes
         version.home = self
         chain = self.index.get(version.key)
         if chain is None:
@@ -94,22 +108,36 @@ class Segment:
                              allow_overflow: bool = False) -> int:
         if self.pages and self.pages[self._fill_cursor].fits(version):
             return self._fill_cursor
-        for page_no, page in enumerate(self.pages):
-            if page.fits(version):
-                self._fill_cursor = page_no
-                return page_no
+        # ``fits`` needs at least size_bytes free, so when even the
+        # loosest page cannot offer that, the scan below is guaranteed
+        # to fail — skip straight to extending the segment.
+        if version.size_bytes <= self._max_free_ub:
+            max_free = 0
+            for page_no, page in enumerate(self.pages):
+                if page.fits(version):
+                    self._fill_cursor = page_no
+                    return page_no
+                free = page.free_bytes
+                if free > max_free:
+                    max_free = free
+            self._max_free_ub = max_free
         if len(self.pages) >= self.max_pages and not allow_overflow:
             raise SegmentFullError(
                 f"segment {self.segment_id}: all {self.max_pages} pages full"
             )
         page = Page(self._alloc_page_id(), self.segment_id, self.page_bytes)
         self.pages.append(page)
+        # The caller (insert_version) raises _max_free_ub from this
+        # page's free space once its insert has landed.
         self._fill_cursor = len(self.pages) - 1
         return self._fill_cursor
 
     def remove_version(self, key: typing.Any, page_no: int, slot: int) -> RecordVersion:
         """Drop one version (GC or record movement)."""
         version = self.pages[page_no].remove(slot)
+        free = self.pages[page_no].free_bytes
+        if free > self._max_free_ub:
+            self._max_free_ub = free
         chain = self.index.get(key)
         if chain is None or (page_no, slot) not in chain:
             raise KeyError(
@@ -135,9 +163,13 @@ class Segment:
 
     def scan_versions(self) -> typing.Iterator[tuple[int, int, RecordVersion]]:
         """Physical order scan: page by page, slot by slot."""
+        # Reads the slot array directly rather than chaining through
+        # Page.versions(): vacuum walks every version of every segment,
+        # and the nested-generator plumbing dominates that walk.
         for page_no, page in enumerate(self.pages):
-            for slot, version in page.versions():
-                yield page_no, slot, version
+            for slot, version in enumerate(page._slots):
+                if version is not None:
+                    yield page_no, slot, version
 
     def index_scan(self, lo: typing.Any = None, hi: typing.Any = None,
                    hi_inclusive: bool = False

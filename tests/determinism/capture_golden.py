@@ -1,0 +1,32 @@
+"""Capture the determinism goldens.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m tests.determinism.capture_golden
+
+The committed goldens were captured on the *pre-optimization* kernel
+(commit with the heap-only event loop), so the determinism tests prove
+the fast paths replay the original event order.  Re-capture only when
+a deliberate, understood model change shifts the virtual clock — never
+to paper over an unexplained mismatch.
+"""
+
+from tests.determinism.harness import (
+    chaos_fingerprint,
+    fig6_fingerprint,
+    save_golden,
+)
+
+
+def main() -> None:
+    for name, fn in (("fig6_small", fig6_fingerprint),
+                     ("chaos_seed0", chaos_fingerprint)):
+        fingerprint = fn()
+        path = save_golden(name, fingerprint)
+        print(f"{name}: {path} "
+              f"(end={fingerprint['end_time']}, "
+              f"events={fingerprint['events_processed']})")
+
+
+if __name__ == "__main__":
+    main()
