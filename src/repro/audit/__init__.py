@@ -1,0 +1,45 @@
+"""History-based consistency auditing (Jepsen-style, offline).
+
+Record every transaction's operations during a run
+(:mod:`repro.audit.history`), then prove isolation held
+(:mod:`repro.audit.checkers`): Adya anomaly classes, snapshot-read
+consistency, replica convergence, and partition-table coverage.
+"""
+
+from repro.audit.checkers import (
+    Anomaly,
+    AuditReport,
+    History,
+    audit_history,
+    check_aborted_reads,
+    check_intermediate_reads,
+    check_lost_updates,
+    check_partition_coverage,
+    check_replica_convergence,
+    check_snapshot_reads,
+    check_write_cycles,
+)
+from repro.audit.history import (
+    CoverageCheckpoint,
+    CoverageEntry,
+    HistoryRecorder,
+    Op,
+)
+
+__all__ = [
+    "Anomaly",
+    "AuditReport",
+    "CoverageCheckpoint",
+    "CoverageEntry",
+    "History",
+    "HistoryRecorder",
+    "Op",
+    "audit_history",
+    "check_aborted_reads",
+    "check_intermediate_reads",
+    "check_lost_updates",
+    "check_partition_coverage",
+    "check_replica_convergence",
+    "check_snapshot_reads",
+    "check_write_cycles",
+]

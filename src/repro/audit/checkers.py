@@ -1,0 +1,587 @@
+"""Offline isolation checkers over a recorded operation history.
+
+Given the history a :class:`repro.audit.history.HistoryRecorder`
+collected, these checkers prove (or disprove) that the run upheld the
+transactional semantics the paper's repartitioning protocol promises
+to preserve (Sect. 3.5, 4.3):
+
+* **Adya-style anomaly detection** over the write/read dependency
+  structure: G0 (write cycles), G1a (aborted reads), G1b (intermediate
+  reads), and lost updates — the anomaly taxonomy used to validate
+  repartitioned OLTP executions in the hyper-graph partitioning line
+  of work.
+* **Snapshot-isolation read consistency**: every read must return the
+  newest version committed at or before the reader's snapshot — a
+  fractured read during a segment move (old node already forwarded,
+  new node not yet caught up) surfaces here as a stale or future read.
+* **Replica convergence**: after failover, every in-sync replica log
+  must replay to exactly the primary's committed contents.
+* **Partition-table coverage**: at every checkpoint — including
+  mid-move, when dual pointers exist — each table's key ranges must
+  tile its keyspace with no gaps and no overlaps, every location must
+  be routable (non-empty candidate set).
+
+All checkers are pure functions over the history: they run post-hoc,
+never touch the simulation clock, and tolerate *bootstrap* versions
+(rows loaded outside any recorded transaction) by treating unknown
+writers as initial state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.audit.history import (
+    ABORT,
+    ACK,
+    BEGIN,
+    COMMIT,
+    READ,
+    WRITE,
+    CoverageCheckpoint,
+    HistoryRecorder,
+    Op,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+@dataclasses.dataclass
+class Anomaly:
+    """One detected isolation violation."""
+
+    kind: str            # G0 | G1a | G1b | lost-update | si-stale-read |
+                         # si-future-read | si-missed-read | replica-divergence |
+                         # coverage-gap | coverage-overlap | coverage-unroutable
+    description: str
+    table: str | None = None
+    key: typing.Any = None
+    txns: tuple[int, ...] = ()
+
+    def to_row(self) -> list:
+        return [self.kind, self.table or "-",
+                "-" if self.key is None else repr(self.key),
+                ",".join(str(t) for t in self.txns) or "-",
+                self.description]
+
+
+class History:
+    """An indexed view over a sequence of :class:`Op` records."""
+
+    def __init__(self, ops: typing.Iterable[Op]):
+        self.ops = list(ops)
+        self.begin_ts: dict[int, int] = {}
+        self.commit_ts: dict[int, int] = {}
+        self.aborted: set[int] = set()
+        self.reads: list[Op] = []
+        self.writes: list[Op] = []
+        for op in self.ops:
+            if op.kind == BEGIN:
+                self.begin_ts[op.txn_id] = op.ts
+            elif op.kind == COMMIT:
+                self.commit_ts[op.txn_id] = op.ts
+            elif op.kind == ABORT:
+                self.aborted.add(op.txn_id)
+            elif op.kind == READ:
+                self.reads.append(op)
+            elif op.kind == WRITE:
+                self.writes.append(op)
+        #: Writes grouped by transaction, in recorded order.
+        self.writes_by_txn: dict[int, list[Op]] = {}
+        for op in self.writes:
+            self.writes_by_txn.setdefault(op.txn_id, []).append(op)
+
+    @classmethod
+    def from_recorder(cls, recorder: HistoryRecorder) -> "History":
+        return cls(recorder.ops)
+
+    def committed(self, txn_id: int) -> bool:
+        return txn_id in self.commit_ts and txn_id not in self.aborted
+
+    # -- per-key committed timelines ---------------------------------------
+
+    def known(self, txn_id: int | None) -> bool:
+        """Did the history see this transaction's lifecycle at all?
+        Bootstrap loads, REDO replay, and replica seeding write under
+        pseudo transaction ids that never begin or commit on record —
+        their versions act as initial state for the checkers."""
+        return txn_id is not None and (
+            txn_id in self.begin_ts or txn_id in self.commit_ts
+            or txn_id in self.aborted
+        )
+
+    def key_timeline(self) -> dict[tuple, list[tuple[int, str, int, tuple | None]]]:
+        """For every (table, key): the committed history as a sorted
+        list of ``(commit_ts, 'create'|'delete', txn_id, value)``
+        events.  Inserts and updates create a version; deletes
+        tombstone one (value ``None``).  Only transactions whose commit
+        was recorded participate."""
+        timeline: dict[tuple, list[tuple[int, str, int, tuple | None]]] = {}
+        for op in self.writes:
+            if not self.committed(op.txn_id):
+                continue
+            ts = self.commit_ts[op.txn_id]
+            effect = "delete" if op.subkind == "delete" else "create"
+            timeline.setdefault((op.table, op.key), []).append(
+                (ts, effect, op.txn_id, op.value)
+            )
+        for events in timeline.values():
+            events.sort(key=lambda e: e[0])
+        return timeline
+
+
+# -- Adya-style anomaly checkers -------------------------------------------
+
+def check_aborted_reads(history: History) -> list[Anomaly]:
+    """G1a: a transaction that did not itself abort observed a version
+    written by a transaction that aborted.  Under snapshot isolation an
+    uncommitted version is visible only to its writer, so any such read
+    is a dirty read whose source later rolled back."""
+    anomalies = []
+    for read in history.reads:
+        writer = read.writer_txn
+        if writer is None or writer == read.txn_id:
+            continue
+        if writer in history.aborted and read.txn_id not in history.aborted:
+            anomalies.append(Anomaly(
+                kind="G1a",
+                table=read.table, key=read.key,
+                txns=(read.txn_id, writer),
+                description=(
+                    f"txn {read.txn_id} read {read.value!r} written by "
+                    f"txn {writer}, which aborted"
+                ),
+            ))
+    return anomalies
+
+
+def check_intermediate_reads(history: History) -> list[Anomaly]:
+    """G1b: a reader observed a version that was not the writer's
+    *final* write to that key — an intermediate state that should never
+    have escaped the writing transaction."""
+    anomalies = []
+    final_value: dict[tuple[int, str, typing.Any], tuple | None] = {}
+    multi_writes: set[tuple[int, str, typing.Any]] = set()
+    for txn_id, writes in history.writes_by_txn.items():
+        seen: dict[tuple, int] = {}
+        for op in writes:
+            site = (txn_id, op.table, op.key)
+            seen[site] = seen.get(site, 0) + 1
+            final_value[site] = None if op.subkind == "delete" else op.value
+            if seen[site] > 1:
+                multi_writes.add(site)
+    for read in history.reads:
+        writer = read.writer_txn
+        if writer is None or writer == read.txn_id:
+            continue
+        site = (writer, read.table, read.key)
+        if site in multi_writes and read.value != final_value[site]:
+            anomalies.append(Anomaly(
+                kind="G1b",
+                table=read.table, key=read.key,
+                txns=(read.txn_id, writer),
+                description=(
+                    f"txn {read.txn_id} read intermediate value "
+                    f"{read.value!r} of txn {writer} (final was "
+                    f"{final_value[site]!r})"
+                ),
+            ))
+    return anomalies
+
+
+def check_lost_updates(history: History) -> list[Anomaly]:
+    """Two *committed* transactions both overwrote the same version of
+    the same key: one of the updates was applied to a state that never
+    included the other — the classic lost update, which SI's
+    first-updater-wins rule must prevent."""
+    anomalies = []
+    overwriters: dict[tuple, set[int]] = {}
+    for op in history.writes:
+        if op.prev_writer is None and op.prev_ts is None:
+            continue  # insert of a fresh key: nothing superseded
+        if not history.committed(op.txn_id):
+            continue
+        site = (op.table, op.key, op.prev_writer, op.prev_ts)
+        overwriters.setdefault(site, set()).add(op.txn_id)
+    for (table, key, prev_writer, prev_ts), txns in overwriters.items():
+        if len(txns) > 1:
+            anomalies.append(Anomaly(
+                kind="lost-update",
+                table=table, key=key,
+                txns=tuple(sorted(txns)),
+                description=(
+                    f"txns {sorted(txns)} each overwrote the same version "
+                    f"of {key!r} (writer {prev_writer} @ {prev_ts}): one "
+                    f"update is lost"
+                ),
+            ))
+    return anomalies
+
+
+def check_write_cycles(history: History) -> list[Anomaly]:
+    """G0: a cycle in the write-dependency (ww) graph of committed
+    transactions.  Each overwrite induces an edge ``previous writer ->
+    overwriter``; with a correct total commit order every edge points
+    forward in commit-timestamp order, so any cycle means two
+    transactions each installed a version the other's write was based
+    on — interleaved writes that no serial order can explain."""
+    edges: dict[int, set[int]] = {}
+    for op in history.writes:
+        prev = op.prev_writer
+        if prev is None or prev == op.txn_id:
+            continue
+        if not history.committed(op.txn_id) or not history.committed(prev):
+            continue
+        edges.setdefault(prev, set()).add(op.txn_id)
+    anomalies = []
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in
+             set(edges) | {v for vs in edges.values() for v in vs}}
+    reported: set[frozenset] = set()
+    for root in sorted(color):
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[int, typing.Iterator[int]]] = [
+            (root, iter(sorted(edges.get(root, ()))))
+        ]
+        color[root] = GREY
+        path = [root]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GREY:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    members = frozenset(cycle)
+                    if members not in reported:
+                        reported.add(members)
+                        anomalies.append(Anomaly(
+                            kind="G0",
+                            txns=tuple(sorted(members)),
+                            description=(
+                                "write cycle among committed txns: "
+                                + " -> ".join(str(t) for t in cycle)
+                            ),
+                        ))
+                elif color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    path.append(nxt)
+                    stack.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return anomalies
+
+
+# -- snapshot-isolation read consistency -----------------------------------
+
+def check_snapshot_reads(history: History) -> list[Anomaly]:
+    """The SI read rule: every read by a transaction with snapshot
+    ``b`` must return the newest version committed at or before ``b``
+    (or the reader's own write).  Three failure shapes:
+
+    * **si-future-read** — the observed version committed after the
+      snapshot (or was still uncommitted and foreign): data from the
+      future leaked into the snapshot.
+    * **si-stale-read** — a *newer* committed create/delete existed at
+      or before the snapshot: the read returned outdated state (the
+      fractured-read signature of a bad mid-move handoff).
+    * **si-missed-read** — the read found nothing although a committed,
+      undeleted version existed at the snapshot (a lost or unroutable
+      record).
+
+    Versions whose writer the history never saw act as initial state:
+    bootstrap loads, crash-recovery REDO replay, and replica promotion
+    all install committed values under pseudo transaction ids with a
+    synthetic stamp, so for those reads the check is by *value* — the
+    observed row must equal the newest known-committed write at the
+    snapshot (or predate any known write).
+    """
+    anomalies = []
+    timeline = history.key_timeline()
+    for read in history.reads:
+        begin = history.begin_ts.get(read.txn_id)
+        if begin is None:
+            continue  # begin fell out of the ring: cannot judge
+        if read.writer_txn == read.txn_id:
+            continue  # own write: trivially consistent
+        events = timeline.get((read.table, read.key), ())
+        newest = None  # newest known-committed event at the snapshot
+        for event in events:
+            if event[0] <= begin:
+                newest = event
+        if read.value is None:
+            # Read miss: fine unless a known committed create <= begin
+            # was the newest event at the snapshot.
+            if newest is not None and newest[1] == "create":
+                anomalies.append(Anomaly(
+                    kind="si-missed-read",
+                    table=read.table, key=read.key,
+                    txns=(read.txn_id, newest[2]),
+                    description=(
+                        f"txn {read.txn_id} (snapshot {begin}) read nothing "
+                        f"at {read.key!r}, but txn {newest[2]} committed a "
+                        f"version at {newest[0]} <= snapshot"
+                    ),
+                ))
+            continue
+        if not history.known(read.writer_txn):
+            # Initial state (bootstrap / REDO replay / promoted
+            # replica): the stamp is synthetic, so judge by value.
+            if newest is None:
+                continue  # predates every known write: consistent
+            ts, effect, txn_id, value = newest
+            if effect == "delete":
+                anomalies.append(Anomaly(
+                    kind="si-stale-read",
+                    table=read.table, key=read.key,
+                    txns=(read.txn_id, txn_id),
+                    description=(
+                        f"txn {read.txn_id} (snapshot {begin}) read "
+                        f"initial-state value {read.value!r}, but txn "
+                        f"{txn_id} committed a delete at {ts} <= snapshot"
+                    ),
+                ))
+            elif value is not None and read.value != value:
+                anomalies.append(Anomaly(
+                    kind="si-stale-read",
+                    table=read.table, key=read.key,
+                    txns=(read.txn_id, txn_id),
+                    description=(
+                        f"txn {read.txn_id} (snapshot {begin}) read "
+                        f"initial-state value {read.value!r}, but txn "
+                        f"{txn_id} committed {value!r} at {ts} <= snapshot"
+                    ),
+                ))
+            continue
+        v_ts = read.version_ts
+        if v_ts is None or v_ts > begin:
+            # Foreign version either uncommitted at read time or
+            # committed after the snapshot.
+            anomalies.append(Anomaly(
+                kind="si-future-read",
+                table=read.table, key=read.key,
+                txns=(read.txn_id, read.writer_txn),
+                description=(
+                    f"txn {read.txn_id} (snapshot {begin}) observed a "
+                    f"version stamped {v_ts} by txn {read.writer_txn} — "
+                    f"not committed within the snapshot"
+                ),
+            ))
+            continue
+        for ts, effect, txn_id, _value in events:
+            if v_ts < ts <= begin:
+                anomalies.append(Anomaly(
+                    kind="si-stale-read",
+                    table=read.table, key=read.key,
+                    txns=(read.txn_id, txn_id),
+                    description=(
+                        f"txn {read.txn_id} (snapshot {begin}) read the "
+                        f"version stamped {v_ts}, but txn {txn_id} "
+                        f"committed a {effect} at {ts} <= snapshot"
+                    ),
+                ))
+                break
+    return anomalies
+
+
+# -- partition-table coverage ----------------------------------------------
+
+def check_partition_coverage(
+        checkpoints: typing.Sequence[CoverageCheckpoint]) -> list[Anomaly]:
+    """Every checkpoint must tile each table's keyspace: consecutive
+    ranges adjacent (no gaps, no overlaps), the hull stable across the
+    run, and every location routable (non-empty candidates) — at every
+    instant, including mid-move."""
+    anomalies: list[Anomaly] = []
+    hulls: dict[str, tuple] = {}
+    for checkpoint in checkpoints:
+        for table, entries in checkpoint.tables.items():
+            if not entries:
+                anomalies.append(Anomaly(
+                    kind="coverage-gap", table=table,
+                    description=(
+                        f"t={checkpoint.t:.1f}: table has no partitions"
+                    ),
+                ))
+                continue
+            for entry in entries:
+                if not entry.candidates:
+                    anomalies.append(Anomaly(
+                        kind="coverage-unroutable", table=table,
+                        description=(
+                            f"t={checkpoint.t:.1f}: partition "
+                            f"{entry.partition_id} has no candidate nodes"
+                        ),
+                    ))
+            for prev, nxt in zip(entries, entries[1:]):
+                if prev.high is None or nxt.low is None:
+                    anomalies.append(Anomaly(
+                        kind="coverage-overlap", table=table,
+                        description=(
+                            f"t={checkpoint.t:.1f}: unbounded range not at "
+                            f"the edge (partitions {prev.partition_id}, "
+                            f"{nxt.partition_id})"
+                        ),
+                    ))
+                elif prev.high < nxt.low:
+                    anomalies.append(Anomaly(
+                        kind="coverage-gap", table=table,
+                        description=(
+                            f"t={checkpoint.t:.1f}: gap between "
+                            f"{prev.high!r} and {nxt.low!r} (partitions "
+                            f"{prev.partition_id}, {nxt.partition_id})"
+                        ),
+                    ))
+                elif prev.high > nxt.low:
+                    anomalies.append(Anomaly(
+                        kind="coverage-overlap", table=table,
+                        description=(
+                            f"t={checkpoint.t:.1f}: ranges overlap between "
+                            f"{nxt.low!r} and {prev.high!r} (partitions "
+                            f"{prev.partition_id}, {nxt.partition_id})"
+                        ),
+                    ))
+            hull = (entries[0].low, entries[-1].high)
+            if table not in hulls:
+                hulls[table] = hull
+            elif hulls[table] != hull:
+                anomalies.append(Anomaly(
+                    kind="coverage-gap", table=table,
+                    description=(
+                        f"t={checkpoint.t:.1f}: table hull changed from "
+                        f"{hulls[table]!r} to {hull!r}"
+                    ),
+                ))
+    return anomalies
+
+
+# -- replica convergence ----------------------------------------------------
+
+def check_replica_convergence(cluster: "Cluster") -> list[Anomaly]:
+    """After a run quiesces, every non-stale replica on a live holder
+    must replay (through the same commit/abort discipline recovery
+    uses) to exactly the primary's committed contents — synchronous
+    shipping promises nothing less."""
+    anomalies: list[Anomaly] = []
+    for replica_set in cluster.catalog.replica_sets.values():
+        primary = cluster.worker(replica_set.primary_node_id)
+        partition = primary.partitions.get(replica_set.partition_id)
+        if partition is None:
+            continue  # primary moved/unavailable: nothing to compare
+        primary_rows = _committed_rows(partition)
+        for replica in replica_set.replicas:
+            if replica.stale:
+                continue
+            if not cluster.worker(replica.holder_node_id).is_serving:
+                continue
+            replica_rows = _replay_replica_log(replica.log)
+            for key, values in primary_rows.items():
+                got = replica_rows.get(key)
+                if got != values:
+                    anomalies.append(Anomaly(
+                        kind="replica-divergence",
+                        table=replica_set.table, key=key,
+                        description=(
+                            f"partition {replica_set.partition_id} replica "
+                            f"on node {replica.holder_node_id}: key {key!r} "
+                            f"is {got!r}, primary has {values!r}"
+                        ),
+                    ))
+            for key in replica_rows:
+                if key not in primary_rows:
+                    anomalies.append(Anomaly(
+                        kind="replica-divergence",
+                        table=replica_set.table, key=key,
+                        description=(
+                            f"partition {replica_set.partition_id} replica "
+                            f"on node {replica.holder_node_id}: key {key!r} "
+                            f"present on the replica, absent on the primary"
+                        ),
+                    ))
+    return anomalies
+
+
+def _committed_rows(partition) -> dict[typing.Any, tuple]:
+    """Newest committed, undeleted version of every key in a partition."""
+    rows: dict[typing.Any, tuple] = {}
+    for segment_id in sorted(partition.segments):
+        segment = partition.segments[segment_id]
+        for key, _chain in segment.index_scan():
+            for _page_no, _slot, version in segment.versions_for(key):
+                if version.created_ts is None or version.deleted_ts is not None:
+                    continue
+                rows[key] = tuple(version.values)
+                break
+    return rows
+
+
+def _replay_replica_log(log) -> dict[typing.Any, tuple]:
+    """Logical replay of a replica log: effects of committed
+    transactions only, aborts superseding commits, in LSN order."""
+    committed: set[int] = set()
+    aborted: set[int] = set()
+    for record in log.records:
+        if record.kind == "commit":
+            committed.add(record.txn_id)
+        elif record.kind == "abort":
+            aborted.add(record.txn_id)
+    committed -= aborted
+    rows: dict[typing.Any, tuple] = {}
+    for record in log.records:
+        if record.txn_id not in committed:
+            continue
+        if record.kind in ("insert", "update"):
+            _table, key, values = record.payload
+            rows[key] = tuple(values)
+        elif record.kind == "delete":
+            _table, key = record.payload
+            rows.pop(key, None)
+    return rows
+
+
+# -- the full audit ---------------------------------------------------------
+
+@dataclasses.dataclass
+class AuditReport:
+    """Everything one audited run produced: anomalies plus the history
+    statistics needed to judge how much evidence backs the verdict."""
+
+    anomalies: list[Anomaly]
+    stats: dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        return not self.anomalies
+
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for anomaly in self.anomalies:
+            out[anomaly.kind] = out.get(anomaly.kind, 0) + 1
+        return out
+
+    def descriptions(self) -> list[str]:
+        return [f"{a.kind}: {a.description}" for a in self.anomalies]
+
+
+def audit_history(recorder: HistoryRecorder,
+                  cluster: "Cluster | None" = None) -> AuditReport:
+    """Run every checker over a recorder's history.  ``cluster``, when
+    given, additionally enables the replica-convergence comparison
+    (it needs live catalog state, not just the history)."""
+    history = History.from_recorder(recorder)
+    anomalies: list[Anomaly] = []
+    anomalies += check_aborted_reads(history)
+    anomalies += check_intermediate_reads(history)
+    anomalies += check_lost_updates(history)
+    anomalies += check_write_cycles(history)
+    anomalies += check_snapshot_reads(history)
+    anomalies += check_partition_coverage(recorder.coverage)
+    if cluster is not None and cluster.catalog.replica_sets:
+        anomalies += check_replica_convergence(cluster)
+    return AuditReport(anomalies=anomalies, stats=recorder.stats())

@@ -1,0 +1,267 @@
+"""Operation-history recording: the raw material for isolation proofs.
+
+The paper's central claim is that physiological repartitioning moves
+segments between nodes *without* breaking transactional semantics
+(Sect. 2, Sect. 4).  The chaos and failover harnesses assert coarse
+invariants (zero lost commits, no orphan extents), but a move that
+silently produced a fractured read, a lost update, or a stale-replica
+read would pass every one of those gates.  This module records a
+Jepsen-style operation history — every begin / read / write / commit /
+abort, with transaction id, key, version stamp, and simulated-clock
+interval — so the offline checkers (:mod:`repro.audit.checkers`) can
+prove isolation held, run by run.
+
+Design constraints:
+
+* **Zero cost when off.**  Recording is disabled by default; every hook
+  site guards on ``txns.history is not None``, a single attribute test,
+  so perf baselines and determinism goldens are untouched.
+* **No simulation interaction.**  The recorder never creates events,
+  timeouts, or processes — attaching it cannot perturb the virtual
+  clock.  (Coverage checkpoints are *driven* by existing loops, e.g.
+  the workload driver's meter loop.)
+* **Bounded memory.**  Operations land in a ring buffer; when it
+  overflows, the oldest operations are dropped and the drop count is
+  surfaced in :meth:`HistoryRecorder.stats` so a truncated history is
+  never silently mistaken for a complete one.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.index.global_table import GlobalPartitionTable
+    from repro.txn.manager import Transaction
+
+#: Operation kinds, mirroring the transaction lifecycle plus the
+#: client-side acknowledgement (the moment a result left the system).
+BEGIN = "begin"
+READ = "read"
+WRITE = "write"
+COMMIT = "commit"
+ABORT = "abort"
+ACK = "ack"
+
+#: Default ring capacity: generous for every smoke/experiment scale
+#: this repo runs, small enough to stay a fraction of a full sweep's
+#: working set (an Op is a slotted record of a dozen scalars).
+DEFAULT_CAPACITY = 1 << 20
+
+
+@dataclasses.dataclass(slots=True)
+class Op:
+    """One recorded operation.
+
+    ``ts`` carries the oracle timestamp that orders the operation in
+    the transaction-level serialization (begin timestamp for ``begin``,
+    commit timestamp for ``commit``); ``t0``/``t1`` carry the
+    simulated-clock interval the operation physically occupied.
+    """
+
+    seq: int
+    kind: str
+    txn_id: int
+    table: str | None = None
+    key: typing.Any = None
+    value: tuple | None = None
+    #: Reads: creator of the observed version and its commit stamp
+    #: (``None`` while the creator was still uncommitted — itself
+    #: evidence, see checkers).
+    writer_txn: int | None = None
+    version_ts: int | None = None
+    #: Writes: which kind of write (insert / update / delete), and the
+    #: identity of the version this write superseded, if any.
+    subkind: str | None = None
+    prev_writer: int | None = None
+    prev_ts: int | None = None
+    #: Oracle timestamp (begin_ts / commit_ts) where applicable.
+    ts: int | None = None
+    #: Simulated-clock interval.
+    t0: float = 0.0
+    t1: float = 0.0
+    #: Acks: how many attempts the client spent.
+    attempts: int | None = None
+
+    # -- constructors for synthetic histories (property tests) -------------
+
+    @classmethod
+    def begin(cls, txn_id: int, ts: int, at: float = 0.0) -> "Op":
+        return cls(0, BEGIN, txn_id, ts=ts, t0=at, t1=at)
+
+    @classmethod
+    def read(cls, txn_id: int, table: str, key: typing.Any,
+             value: tuple | None, writer_txn: int | None = None,
+             version_ts: int | None = None, at: float = 0.0) -> "Op":
+        return cls(0, READ, txn_id, table=table, key=key, value=value,
+                   writer_txn=writer_txn, version_ts=version_ts,
+                   t0=at, t1=at)
+
+    @classmethod
+    def write(cls, txn_id: int, subkind: str, table: str, key: typing.Any,
+              value: tuple | None = None, prev_writer: int | None = None,
+              prev_ts: int | None = None, at: float = 0.0) -> "Op":
+        return cls(0, WRITE, txn_id, table=table, key=key, value=value,
+                   subkind=subkind, prev_writer=prev_writer,
+                   prev_ts=prev_ts, t0=at, t1=at)
+
+    @classmethod
+    def commit(cls, txn_id: int, ts: int, at: float = 0.0) -> "Op":
+        return cls(0, COMMIT, txn_id, ts=ts, t0=at, t1=at)
+
+    @classmethod
+    def abort(cls, txn_id: int, at: float = 0.0) -> "Op":
+        return cls(0, ABORT, txn_id, t0=at, t1=at)
+
+
+@dataclasses.dataclass
+class CoverageCheckpoint:
+    """A snapshot of the global partition table's routing state, taken
+    at one instant — including mid-move, when dual pointers exist."""
+
+    t: float
+    label: str
+    #: table -> ordered entries, as the GPT keeps them.
+    tables: dict[str, list["CoverageEntry"]]
+
+
+@dataclasses.dataclass
+class CoverageEntry:
+    partition_id: int
+    low: typing.Any
+    high: typing.Any
+    candidates: tuple[int, ...]
+    available: bool
+    moving: bool
+
+
+class HistoryRecorder:
+    """Ring-buffered operation history plus coverage checkpoints.
+
+    Attach with :meth:`attach` (sets ``cluster.txns.history``); every
+    hook in the transaction manager, the worker access layer, the
+    master's router, and the OLTP client then records through it.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("history capacity must be positive")
+        self.capacity = capacity
+        self.ops: collections.deque[Op] = collections.deque(maxlen=capacity)
+        self.coverage: list[CoverageCheckpoint] = []
+        self.recorded = 0
+        self.counts: dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, cluster) -> "HistoryRecorder":
+        """Install this recorder on the cluster's transaction manager
+        (the single shared hook point every layer consults)."""
+        cluster.txns.history = self
+        return self
+
+    @staticmethod
+    def detach(cluster) -> None:
+        cluster.txns.history = None
+
+    # -- recording ---------------------------------------------------------
+
+    def _push(self, op: Op) -> Op:
+        op.seq = self.recorded
+        self.recorded += 1
+        self.counts[op.kind] = self.counts.get(op.kind, 0) + 1
+        self.ops.append(op)
+        return op
+
+    def record_begin(self, txn: "Transaction", now: float) -> None:
+        self._push(Op(0, BEGIN, txn.txn_id, ts=txn.begin_ts, t0=now, t1=now))
+
+    def record_read(self, txn: "Transaction", table: str, key: typing.Any,
+                    version, t0: float, t1: float) -> None:
+        """A point read that found ``version`` (a RecordVersion)."""
+        self._push(Op(
+            0, READ, txn.txn_id, table=table, key=key,
+            value=tuple(version.values),
+            writer_txn=version.created_by, version_ts=version.created_ts,
+            t0=t0, t1=t1,
+        ))
+
+    def record_read_miss(self, txn: "Transaction", table: str,
+                         key: typing.Any, t0: float, t1: float) -> None:
+        """A point read that found nothing on any candidate node."""
+        self._push(Op(0, READ, txn.txn_id, table=table, key=key,
+                      value=None, t0=t0, t1=t1))
+
+    def record_write(self, txn: "Transaction", subkind: str, table: str,
+                     key: typing.Any, value: tuple | None,
+                     prev, t0: float, t1: float) -> None:
+        """A write that succeeded locally (``prev`` is the superseded
+        RecordVersion for updates/deletes, None for inserts)."""
+        self._push(Op(
+            0, WRITE, txn.txn_id, table=table, key=key,
+            value=None if value is None else tuple(value),
+            subkind=subkind,
+            prev_writer=None if prev is None else prev.created_by,
+            prev_ts=None if prev is None else prev.created_ts,
+            t0=t0, t1=t1,
+        ))
+
+    def record_commit(self, txn: "Transaction", commit_ts: int,
+                      t0: float, t1: float) -> None:
+        self._push(Op(0, COMMIT, txn.txn_id, ts=commit_ts, t0=t0, t1=t1))
+
+    def record_abort(self, txn: "Transaction", now: float) -> None:
+        self._push(Op(0, ABORT, txn.txn_id, t0=now, t1=now))
+
+    def record_ack(self, txn_id: int, kind: str, t0: float, t1: float,
+                   attempts: int) -> None:
+        """Client-side acknowledgement: the completed query's interval
+        as the client saw it (its real-time window)."""
+        self._push(Op(0, ACK, txn_id, table=kind, t0=t0, t1=t1,
+                      attempts=attempts))
+
+    # -- coverage checkpoints ----------------------------------------------
+
+    def checkpoint_coverage(self, gpt: "GlobalPartitionTable", now: float,
+                            label: str = "") -> CoverageCheckpoint:
+        """Snapshot the partition table's key-range layout right now —
+        the checkers later prove every snapshot tiles each table with
+        no gaps or overlaps, even mid-move."""
+        tables: dict[str, list[CoverageEntry]] = {}
+        for table in gpt.tables():
+            tables[table] = [
+                CoverageEntry(
+                    partition_id=location.partition_id,
+                    low=key_range.low, high=key_range.high,
+                    candidates=tuple(location.candidate_nodes),
+                    available=location.available,
+                    moving=location.is_moving,
+                )
+                for key_range, location in gpt.partitions(table)
+            ]
+        checkpoint = CoverageCheckpoint(t=now, label=label, tables=tables)
+        self.coverage.append(checkpoint)
+        return checkpoint
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Operations lost to ring overflow."""
+        return self.recorded - len(self.ops)
+
+    def stats(self) -> dict[str, int]:
+        out = {
+            "ops_recorded": self.recorded,
+            "ops_retained": len(self.ops),
+            "ops_dropped": self.dropped,
+            "coverage_checkpoints": len(self.coverage),
+        }
+        for kind in (BEGIN, READ, WRITE, COMMIT, ABORT, ACK):
+            out[kind] = self.counts.get(kind, 0)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.ops)

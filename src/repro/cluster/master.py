@@ -172,9 +172,16 @@ class MasterNode:
                 raise RecordNotHereError(f"{key!r} not visible here")
             return result
 
+        t0 = self.env.now
         try:
             result = yield from self._routed(table, key, action, breakdown, txn)
         except NoOwnerFoundError:
+            # Per-node misses are normal mid-move; only the merged
+            # verdict — no candidate had a visible version — is a
+            # history-relevant read of "nothing".
+            history = self.txns.history
+            if history is not None:
+                history.record_read_miss(txn, table, key, t0, self.env.now)
             return None
         return result
 

@@ -283,8 +283,10 @@ class WorkerNode:
                 txn.txn_id, partition.table.name, partition.partition_id,
                 key, LockMode.S, breakdown,
             )
+        t0 = self.env.now
         yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
         result = None
+        found = None
         pinned: list[int] = []
         try:
             for page_no, _slot, version in segment.versions_for(key):
@@ -294,11 +296,18 @@ class WorkerNode:
                     pinned.append(page.page_id)
                 if self._version_readable(version, txn, cc):
                     result = version.values
+                    found = version
                     break
         finally:
             for page_id in pinned:
                 self.buffer.unpin(page_id)
         self.note_partition_pages(partition.partition_id, len(pinned))
+        history = self.txns.history
+        if history is not None and found is not None:
+            # Misses are recorded by the router once every candidate
+            # node has been tried (a per-node miss is normal mid-move).
+            history.record_read(txn, partition.table.name, key, found,
+                                t0, self.env.now)
         return result
 
     def read_range(self, partition: "Partition", lo: typing.Any,
@@ -376,6 +385,7 @@ class WorkerNode:
         """Generator: transactional insert; returns the record key."""
         schema = partition.schema
         version = RecordVersion.make(schema, values, txn.txn_id)
+        t0 = self.env.now
         if announce:
             yield from self._announce_write(partition, txn, breakdown)
         target = partition.ensure_segment_for(version.key)
@@ -400,6 +410,11 @@ class WorkerNode:
         yield from self._maintain_secondary(partition, version.values, priority)
         self._log_write(txn, "insert", partition, version)
         self.note_partition_pages(partition.partition_id, 1)
+        history = self.txns.history
+        if history is not None:
+            history.record_write(txn, "insert", partition.table.name,
+                                 version.key, version.values, None,
+                                 t0, self.env.now)
         return version.key
 
     def update_record(self, partition: "Partition", key: typing.Any,
@@ -408,6 +423,7 @@ class WorkerNode:
                       cc: str = "mvcc", priority: int = 0,
                       announce: bool = True):
         """Generator: transactional update (new version chained)."""
+        t0 = self.env.now
         if announce:
             yield from self._announce_write(partition, txn, breakdown)
         segment = self._resolve_segment(partition, key)
@@ -422,10 +438,16 @@ class WorkerNode:
             raise ValueError(
                 f"update may not change the primary key ({key!r} -> {version.key!r})"
             )
+        history = self.txns.history
+        prev = (mvcc.visible_version(segment, key, txn)
+                if history is not None else None)
         location = mvcc.update(segment, key, version, txn)
         yield from self._dirty_page(segment, location[0], breakdown, priority)
         yield from self._maintain_secondary(partition, version.values, priority)
         self._log_write(txn, "update", partition, version)
+        if history is not None:
+            history.record_write(txn, "update", partition.table.name, key,
+                                 version.values, prev, t0, self.env.now)
         if cc == "locking":
             # In-place updates must log the before-image for UNDO;
             # under MVCC the superseded version itself serves that role.
@@ -440,6 +462,7 @@ class WorkerNode:
                       cc: str = "mvcc", priority: int = 0,
                       announce: bool = True):
         """Generator: transactional delete (delete-mark)."""
+        t0 = self.env.now
         if announce:
             yield from self._announce_write(partition, txn, breakdown)
         segment = self._resolve_segment(partition, key)
@@ -449,12 +472,18 @@ class WorkerNode:
                 key, LockMode.X, breakdown,
             )
         yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
+        history = self.txns.history
+        prev = (mvcc.visible_version(segment, key, txn)
+                if history is not None else None)
         mvcc.delete(segment, key, txn)
         chain = segment.versions_for(key)
         if chain:
             yield from self._dirty_page(segment, chain[0][0], breakdown, priority)
         self._log_write(txn, "delete", partition, key_only=key)
         self.note_partition_pages(partition.partition_id, 1)
+        if history is not None:
+            history.record_write(txn, "delete", partition.table.name, key,
+                                 None, prev, t0, self.env.now)
 
     def _maintain_secondary(self, partition: "Partition",
                             values: typing.Sequence, priority: int):

@@ -69,18 +69,23 @@ def run_fig3_cmd(args) -> str:
 
 
 def run_fig6_cmd(args) -> str:
+    import dataclasses
+
     from repro.experiments import run_fig6
 
     from repro.experiments.fig6_schemes import SCHEMES
     from repro.experiments.parallel import run_tasks
 
     config = _fig6_config(args.quick)
+    if args.audit:
+        config = dataclasses.replace(config, audit=True)
     schemes = [args.scheme] if args.scheme else list(SCHEMES)
     results = run_tasks(
         [(run_fig6, (scheme, config), {}) for scheme in schemes],
         jobs=args.jobs,
     )
     parts = []
+    anomalies: list[str] = []
     for scheme, result in zip(schemes, results):
         parts.append(result.to_table())
         parts.append(
@@ -88,7 +93,17 @@ def run_fig6_cmd(args) -> str:
             f"moved {result.bytes_moved / 2**20:.0f} MiB "
             f"({result.records_moved} records)"
         )
-    return "\n\n".join(parts)
+        if result.audited:
+            from repro.metrics.report import render_audit_summary
+
+            parts.append(render_audit_summary(
+                f"fig6 [{scheme}]", result.anomalies, result.history_stats
+            ))
+            anomalies += [f"[{scheme}] {a}" for a in result.anomalies]
+    out = "\n\n".join(parts)
+    if anomalies:
+        raise SystemExit(out)
+    return out
 
 
 def run_fig7_cmd(args) -> str:
@@ -106,11 +121,19 @@ def run_fig8_cmd(args) -> str:
 
 
 def run_fig9_cmd(args) -> str:
-    from repro.experiments import run_fig9
-    from repro.experiments.fig9_failover import quick_fig9_config
+    import dataclasses
 
-    config = quick_fig9_config() if args.quick else None
-    return run_fig9(config, jobs=args.jobs).to_table()
+    from repro.experiments import run_fig9
+    from repro.experiments.fig9_failover import Fig9Config, quick_fig9_config
+
+    config = quick_fig9_config() if args.quick else Fig9Config()
+    if args.audit:
+        config = dataclasses.replace(config, audit=True)
+    result = run_fig9(config, jobs=args.jobs)
+    out = result.to_table()
+    if any(r.anomalies for r in result.runs.values()):
+        raise SystemExit(out)
+    return out
 
 
 def run_scale_in_cmd(args) -> str:
@@ -121,11 +144,12 @@ def run_scale_in_cmd(args) -> str:
 
 def run_chaos_cmd(args) -> str:
     from repro.experiments import run_chaos_suite
-    from repro.experiments.chaos_moves import render_chaos
+    from repro.experiments.chaos_moves import ChaosConfig, render_chaos
 
     seeds = args.seeds if args.seeds else list(range(3 if args.quick else 10))
-    result = run_chaos_suite(seeds=seeds, jobs=args.jobs)
-    if result.total_violations:
+    config = ChaosConfig(audit=True) if args.audit else None
+    result = run_chaos_suite(seeds=seeds, config=config, jobs=args.jobs)
+    if result.total_violations or result.total_anomalies:
         raise SystemExit(render_chaos(result))
     return render_chaos(result)
 
@@ -166,6 +190,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for sweep experiments "
                              "(fig6/fig9/chaos); 0 = one per CPU")
+    parser.add_argument("--audit", action="store_true",
+                        help="fig6/fig9/chaos: record the full operation "
+                             "history and run the isolation checkers "
+                             "(repro.audit) post-hoc; exits non-zero on "
+                             "any anomaly")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the hottest "
                              "functions after each experiment")

@@ -115,6 +115,16 @@ class ChaosConfig:
     #: Post-quiesce journal re-drive rounds before declaring failure.
     resume_rounds: int = 5
 
+    #: Record the full operation history and run the isolation checkers
+    #: (repro.audit) after the invariants.  Off by default: the
+    #: determinism goldens fingerprint audit-off runs, and the audit's
+    #: coverage-checkpoint process adds events of its own.
+    audit: bool = False
+    #: Simulated seconds between partition-table coverage snapshots
+    #: while auditing — small enough that a mid-move dual-pointer state
+    #: is always observed.
+    audit_checkpoint_interval: float = 0.5
+
     @property
     def duration(self) -> float:
         return self.warmup + self.fault_span + self.tail
@@ -135,15 +145,33 @@ class ChaosRunResult:
     exhausted_writes: int
     degraded_steps: int
     resume_rounds_used: int
+    #: Isolation anomalies the post-hoc audit found (empty when the
+    #: audit was off or found nothing); plus the history's evidence
+    #: stats so a truncated recording is never mistaken for a proof.
+    anomalies: list[str] = dataclasses.field(default_factory=list)
+    history_stats: dict[str, int] = dataclasses.field(default_factory=dict)
+    audited: bool = False
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.anomalies
 
     def to_row(self) -> list:
+        if not self.audited:
+            audit_cell = "-"
+        elif self.anomalies:
+            audit_cell = f"{len(self.anomalies)} anomalies"
+        else:
+            audit_cell = "clean"
+        if self.ok:
+            verdict = "ok"
+        elif self.violations:
+            verdict = f"{len(self.violations)} violations"
+        else:
+            verdict = "audit failed"
         return [
             self.seed,
-            "ok" if self.ok else f"{len(self.violations)} violations",
+            verdict,
             len(self.faults),
             self.move_summary.get("moves_total", 0),
             self.move_summary.get("retries_total", 0),
@@ -153,6 +181,7 @@ class ChaosRunResult:
             "yes" if self.resumed_move_completed else "no",
             self.acked_writes,
             self.exhausted_writes,
+            audit_cell,
         ]
 
 
@@ -162,11 +191,16 @@ class ChaosSuiteResult:
     runs: list[ChaosRunResult]
 
     HEADERS = ["seed", "verdict", "faults", "moves", "retries", "resumes",
-               "rollbacks", "re-shipped", "resume-done", "acked", "exhausted"]
+               "rollbacks", "re-shipped", "resume-done", "acked",
+               "exhausted", "audit"]
 
     @property
     def total_violations(self) -> int:
         return sum(len(r.violations) for r in self.runs)
+
+    @property
+    def total_anomalies(self) -> int:
+        return sum(len(r.anomalies) for r in self.runs)
 
     @property
     def any_resumed_completion(self) -> bool:
@@ -182,12 +216,24 @@ class ChaosSuiteResult:
             for violation in run.violations:
                 lines.append(f"seed {run.seed}: INVARIANT VIOLATED: "
                              f"{violation}")
+            for anomaly in run.anomalies:
+                lines.append(f"seed {run.seed}: ISOLATION ANOMALY: "
+                             f"{anomaly}")
         lines.append(
             f"{len(self.runs)} schedules, "
             f"{self.total_violations} invariant violations, "
             f"chunk-level resume completed a move: "
             f"{'yes' if self.any_resumed_completion else 'NO'}"
         )
+        if any(r.audited for r in self.runs):
+            ops = sum(r.history_stats.get("ops_recorded", 0)
+                      for r in self.runs)
+            dropped = sum(r.history_stats.get("ops_dropped", 0)
+                          for r in self.runs)
+            lines.append(
+                f"audit: {self.total_anomalies} isolation anomalies over "
+                f"{ops} recorded operations ({dropped} dropped)"
+            )
         return "\n".join(lines)
 
 
@@ -377,6 +423,25 @@ def run_chaos(config: ChaosConfig | None = None,
     env, cluster = _build(config)
     if instrument is not None:
         instrument(env, cluster)
+    recorder = None
+    if config.audit:
+        from repro.audit import HistoryRecorder
+
+        recorder = HistoryRecorder().attach(cluster)
+
+        def coverage_loop():
+            # Audited runs snapshot the partition table on a fixed
+            # cadence so every mid-move dual-pointer state is captured.
+            # This adds timeout events — fine, because the determinism
+            # goldens fingerprint audit-off runs only.
+            recorder.checkpoint_coverage(cluster.master.gpt, env.now,
+                                         "chaos-start")
+            while env.now < config.duration:
+                yield env.timeout(config.audit_checkpoint_interval)
+                recorder.checkpoint_coverage(cluster.master.gpt, env.now,
+                                             "chaos")
+
+        env.process(coverage_loop(), name="audit-coverage")
     scheme = PhysiologicalPartitioning()
     rebalancer = Rebalancer(cluster, scheme)
 
@@ -477,6 +542,19 @@ def run_chaos(config: ChaosConfig | None = None,
     env.run(until=env.process(resume_rounds(), name="chaos-resume"))
 
     violations = check_invariants(env, cluster, oracle)
+    anomalies: list[str] = []
+    history_stats: dict[str, int] = {}
+    if recorder is not None:
+        from repro.audit import audit_history
+
+        # One final snapshot of the healed table, then the full audit
+        # (the readback's reads are part of the history too — the
+        # checkers prove even the verification pass read consistently).
+        recorder.checkpoint_coverage(cluster.master.gpt, env.now,
+                                     "post-quiesce")
+        report = audit_history(recorder, cluster)
+        anomalies = report.descriptions()
+        history_stats = report.stats
     journal = cluster.moves.journal
     resumed_done = any(
         e.phase == DONE and e.resumes > 0 and e.bytes_reshipped > 0
@@ -493,6 +571,9 @@ def run_chaos(config: ChaosConfig | None = None,
         exhausted_writes=exhausted,
         degraded_steps=len(rebalancer.failed_moves),
         resume_rounds_used=rounds_used,
+        anomalies=anomalies,
+        history_stats=history_stats,
+        audited=config.audit,
     )
 
 

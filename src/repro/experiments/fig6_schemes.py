@@ -106,6 +106,11 @@ class Fig6Config:
 
     vacuum_interval: float = 10.0
 
+    #: Record the operation history and run the isolation checkers
+    #: post-hoc (repro.audit).  Off by default: baselines and
+    #: determinism goldens fingerprint audit-off runs.
+    audit: bool = False
+
     def __post_init__(self):
         if self.disk_specs is None:
             from repro.hardware import HDD_SPEC
@@ -134,6 +139,10 @@ class Fig6Result:
     records_moved: int
     breakdown_normal: CostBreakdown
     breakdown_rebalancing: CostBreakdown
+    #: Post-hoc isolation audit (populated when config.audit was set).
+    anomalies: list[str] = dataclasses.field(default_factory=list)
+    history_stats: dict[str, int] = dataclasses.field(default_factory=dict)
+    audited: bool = False
 
     @property
     def migration_seconds(self) -> float:
@@ -255,8 +264,15 @@ def run_fig6(scheme: str | PartitioningScheme,
         cluster, ctx, clients=config.clients,
         client_interval=config.client_interval,
         power_sample_interval=min(5.0, config.bucket),
+        audit=config.audit,
     )
-    start_vacuum_daemon(cluster, interval=config.vacuum_interval)
+    # Audited runs bound the vacuum daemon to the workload's end so the
+    # drained simulation is a stable subject for the offline checkers;
+    # unaudited runs keep the historical unbounded schedule (goldens).
+    start_vacuum_daemon(
+        cluster, interval=config.vacuum_interval,
+        until=(config.warmup + config.tail) if config.audit else None,
+    )
     env.process(cluster.monitor.run(), name="monitor")
     rebalancer = Rebalancer(cluster, scheme_obj)
     marks: dict[str, float] = {}
@@ -321,6 +337,15 @@ def run_fig6(scheme: str | PartitioningScheme,
         breakdown_normal=driver.mean_breakdown(0, start_abs),
         breakdown_rebalancing=driver.mean_breakdown(marks["start"], marks["end"]),
     )
+    if driver.history is not None:
+        from repro.audit import audit_history
+
+        driver.history.checkpoint_coverage(cluster.master.gpt, env.now,
+                                           "post-run")
+        report = audit_history(driver.history, cluster)
+        result.anomalies = report.descriptions()
+        result.history_stats = report.stats
+        result.audited = True
     return result
 
 

@@ -96,6 +96,10 @@ class Fig9Config:
     #: of the pre-crash baseline.
     recovery_qps_fraction: float = 0.7
 
+    #: Record the operation history and run the isolation checkers —
+    #: including replica convergence — post-hoc (repro.audit).
+    audit: bool = False
+
 
 @dataclasses.dataclass
 class Fig9KResult:
@@ -119,6 +123,10 @@ class Fig9KResult:
     bytes_shipped: int
     retry_summary: dict[str, int | float]
     events: list
+    #: Post-hoc isolation audit (populated when config.audit was set).
+    anomalies: list[str] = dataclasses.field(default_factory=list)
+    history_stats: dict[str, int] = dataclasses.field(default_factory=dict)
+    audited: bool = False
 
     def to_row(self) -> list:
         return [
@@ -152,10 +160,23 @@ class Fig9Result:
 
     def to_table(self) -> str:
         rows = [self.runs[k].to_row() for k in sorted(self.runs)]
-        return render_table(
+        table = render_table(
             self.HEADERS, rows,
             title="Fig. 9 — failover: crash at t=0, one data node killed",
         )
+        if not any(r.audited for r in self.runs.values()):
+            return table
+        lines = [table]
+        for k in sorted(self.runs):
+            run = self.runs[k]
+            for anomaly in run.anomalies:
+                lines.append(f"k={k}: ISOLATION ANOMALY: {anomaly}")
+        total = sum(len(r.anomalies) for r in self.runs.values())
+        ops = sum(r.history_stats.get("ops_recorded", 0)
+                  for r in self.runs.values())
+        lines.append(f"audit: {total} isolation anomalies over {ops} "
+                     f"recorded operations")
+        return "\n".join(lines)
 
 
 def _build_cluster(config: Fig9Config) -> tuple[Environment, Cluster]:
@@ -239,6 +260,7 @@ def run_fig9_single(k: int, config: Fig9Config | None = None) -> Fig9KResult:
         cluster, ctx, clients=config.clients,
         client_interval=config.client_interval,
         power_sample_interval=config.bucket,
+        audit=config.audit,
     )
     committed: list[tuple[int, int, int]] = []
 
@@ -248,7 +270,12 @@ def run_fig9_single(k: int, config: Fig9Config | None = None) -> Fig9KResult:
 
     driver.completion_listener = remember_commit
 
-    start_vacuum_daemon(cluster, interval=config.vacuum_interval)
+    # Audited runs bound the vacuum daemon to the workload's end so the
+    # drained simulation is a stable subject for the offline checkers.
+    start_vacuum_daemon(
+        cluster, interval=config.vacuum_interval,
+        until=(t_start + config.duration) if config.audit else None,
+    )
     env.process(cluster.monitor.run(), name="monitor")
     env.process(detector.run(), name="failure-detector")
     env.process(injector.run(), name="fault-injector")
@@ -288,6 +315,17 @@ def run_fig9_single(k: int, config: Fig9Config | None = None) -> Fig9KResult:
             recovered = t
             break
 
+    anomalies: list[str] = []
+    history_stats: dict[str, int] = {}
+    if driver.history is not None:
+        from repro.audit import audit_history
+
+        driver.history.checkpoint_coverage(cluster.master.gpt, env.now,
+                                           "post-run")
+        report = audit_history(driver.history, cluster)
+        anomalies = report.descriptions()
+        history_stats = report.stats
+
     return Fig9KResult(
         k=k,
         qps=qps,
@@ -310,6 +348,9 @@ def run_fig9_single(k: int, config: Fig9Config | None = None) -> Fig9KResult:
         bytes_shipped=replication.bytes_shipped,
         retry_summary=driver.retry_summary(),
         events=list(coordinator.events),
+        anomalies=anomalies,
+        history_stats=history_stats,
+        audited=config.audit,
     )
 
 

@@ -95,6 +95,54 @@ def render_move_summary(summary: dict[str, int],
     return render_table(["metric", "value"], rows, title=title)
 
 
+def render_audit_summary(label: str, anomalies: typing.Sequence[str],
+                         stats: dict[str, int]) -> str:
+    """Render one audited run's verdict: the evidence volume (how many
+    operations back it, whether the ring dropped any) and every
+    anomaly the checkers found."""
+    rows = [
+        ["operations recorded", stats.get("ops_recorded", 0)],
+        ["operations retained", stats.get("ops_retained", 0)],
+        ["operations dropped", stats.get("ops_dropped", 0)],
+        ["coverage checkpoints", stats.get("coverage_checkpoints", 0)],
+        ["commits", stats.get("commit", 0)],
+        ["aborts", stats.get("abort", 0)],
+        ["anomalies", len(anomalies)],
+    ]
+    table = render_table(
+        ["metric", "value"], rows,
+        title=f"audit [{label}] — "
+              + ("CLEAN" if not anomalies else "ANOMALIES FOUND"),
+    )
+    if not anomalies:
+        return table
+    lines = [table]
+    for anomaly in anomalies:
+        lines.append(f"  ANOMALY: {anomaly}")
+    return "\n".join(lines)
+
+
+def render_audit_report(report, title: str = "isolation audit") -> str:
+    """Render a full :class:`repro.audit.AuditReport`: one row per
+    anomaly (kind / table / key / transactions / description) plus the
+    history stats that size the evidence."""
+    verdict = "CLEAN" if report.ok else f"{len(report.anomalies)} ANOMALIES"
+    parts = []
+    if report.anomalies:
+        parts.append(render_table(
+            ["kind", "table", "key", "txns", "description"],
+            [a.to_row() for a in report.anomalies],
+            title=f"{title} — {verdict}",
+        ))
+    stats_rows = sorted(report.stats.items())
+    parts.append(render_table(
+        ["stat", "value"], stats_rows,
+        title=f"{title} history stats" + ("" if report.anomalies
+                                          else f" — {verdict}"),
+    ))
+    return "\n\n".join(parts)
+
+
 def _fmt(value: typing.Any) -> str:
     if value is None:
         return "-"

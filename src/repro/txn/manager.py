@@ -98,12 +98,19 @@ class TransactionManager:
         #: Plain-callable counterpart for aborts (no sim time passes):
         #: lets the replicator drop buffered log records of the loser.
         self.on_abort: typing.Callable | None = None
+        #: Optional operation-history recorder (repro.audit).  ``None``
+        #: by default: every hook site below and in the access layer is
+        #: a single attribute test, so perf baselines and determinism
+        #: goldens are untouched unless a run opts in.
+        self.history = None
 
     # -- lifecycle -----------------------------------------------------------
 
     def begin(self, is_system: bool = False) -> Transaction:
         txn = Transaction(self.oracle.next(), self.oracle.current, is_system)
         self._active[txn.txn_id] = txn
+        if self.history is not None:
+            self.history.record_begin(txn, self.env.now)
         return txn
 
     def commit(self, txn: Transaction, breakdown: CostBreakdown | None = None,
@@ -117,6 +124,7 @@ class TransactionManager:
         storage-overhead line) until vacuumed.
         """
         txn.require_active()
+        commit_start = self.env.now
         commit_ts = self.oracle.next()
         for _segment, version, _location in txn._created:
             version.created_ts = commit_ts
@@ -144,6 +152,9 @@ class TransactionManager:
         txn.state = TxnState.COMMITTED
         self._finish(txn)
         self.committed_count += 1
+        if self.history is not None:
+            self.history.record_commit(txn, commit_ts, commit_start,
+                                       self.env.now)
 
     def abort(self, txn: Transaction) -> None:
         """Undo the transaction's in-memory effects (no I/O needed:
@@ -176,6 +187,8 @@ class TransactionManager:
         txn.state = TxnState.ABORTED
         self._finish(txn)
         self.aborted_count += 1
+        if self.history is not None:
+            self.history.record_abort(txn, self.env.now)
 
     def _finish(self, txn: Transaction) -> None:
         self._active.pop(txn.txn_id, None)

@@ -20,19 +20,60 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
 
 
-def start_vacuum_daemon(cluster: "Cluster", interval: float = 30.0):
-    """Launch the background version GC on every worker's partitions."""
+class VacuumDaemon:
+    """Handle to the background version GC: stoppable, and optionally
+    bounded by the run's end time so audited runs terminate
+    deterministically instead of leaving a live process scheduled past
+    the workload's ``run(duration)``."""
+
+    def __init__(self):
+        self.process = None
+        self.sweeps = 0
+        self.reclaimed = 0
+        self._stop = False
+
+    def stop(self) -> None:
+        """Ask the daemon to exit at its next wakeup."""
+        self._stop = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop
+
+
+def start_vacuum_daemon(cluster: "Cluster", interval: float = 30.0,
+                        until: float | None = None) -> VacuumDaemon:
+    """Launch the background version GC on every worker's partitions.
+
+    ``until`` bounds the daemon to the run's end time: the final sweep
+    happens at or before ``until`` and the process then finishes, so a
+    bounded simulation drains completely.  Without it the daemon runs
+    for as long as the simulation does (the historical behaviour).
+    """
+    handle = VacuumDaemon()
 
     def daemon():
-        while True:
-            yield cluster.env.timeout(interval)
+        env = cluster.env
+        while not handle._stop:
+            step = interval
+            if until is not None:
+                step = min(step, until - env.now)
+                if step <= 0:
+                    break
+            yield env.timeout(step)
+            if handle._stop:
+                break
             horizon = cluster.txns.oldest_active_begin_ts()
+            handle.sweeps += 1
             for worker in cluster.active_workers():
                 for partition in list(worker.partitions.values()):
                     for segment in list(partition.segments.values()):
-                        mvcc.vacuum(segment, horizon)
+                        handle.reclaimed += mvcc.vacuum(segment, horizon)
+            if until is not None and env.now >= until:
+                break
 
-    return cluster.env.process(daemon(), name="vacuum-daemon")
+    handle.process = cluster.env.process(daemon(), name="vacuum-daemon")
+    return handle
 
 
 class WorkloadDriver:
@@ -41,11 +82,25 @@ class WorkloadDriver:
     def __init__(self, cluster: "Cluster", ctx: TpccContext,
                  clients: int, client_interval: float,
                  mix: list[tuple[str, float]] | None = None,
-                 power_sample_interval: float = 5.0):
+                 power_sample_interval: float = 5.0,
+                 audit=None):
         if clients < 1:
             raise ValueError("need at least one client")
         self.cluster = cluster
         self.ctx = ctx
+        #: Optional operation-history recorder (repro.audit): pass
+        #: ``audit=True`` for a default recorder, or a pre-built
+        #: ``HistoryRecorder``.  Attaching routes every begin / read /
+        #: write / commit / abort through it and makes the meter loop
+        #: snapshot partition-table coverage each sample.  Off by
+        #: default so perf baselines are untouched.
+        self.history = None
+        if audit:
+            from repro.audit.history import HistoryRecorder
+
+            self.history = audit if isinstance(audit, HistoryRecorder) \
+                else HistoryRecorder()
+            self.history.attach(cluster)
         self.clients = [
             OltpClient(i, ctx, self, client_interval, mix)
             for i in range(clients)
@@ -114,6 +169,10 @@ class WorkloadDriver:
     def _meter_loop(self, until: float):
         meter = self.cluster.meter
         meter.sample()  # reset the checkpoint to now
+        if self.history is not None:
+            self.history.checkpoint_coverage(
+                self.cluster.master.gpt, self.cluster.env.now, "run-start"
+            )
         while self.cluster.env.now < until:
             step = min(self.power_sample_interval,
                        until - self.cluster.env.now)
@@ -122,6 +181,13 @@ class WorkloadDriver:
             yield self.cluster.env.timeout(step)
             now, watts = meter.sample()
             self.power.record(now, watts)
+            if self.history is not None:
+                # Coverage snapshots ride the existing sampling loop so
+                # auditing never adds events of its own — mid-move
+                # checkpoints land whenever a move spans a sample.
+                self.history.checkpoint_coverage(
+                    self.cluster.master.gpt, now, "meter"
+                )
 
     # -- aggregates ----------------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""Audited experiment smokes: the history recorder rides a chaos run
+and a failover run end to end, and the checkers certify both clean.
+These are the pytest twins of CI's ``--audit`` CLI gates."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.chaos_moves import ChaosConfig, run_chaos
+from repro.experiments.fig9_failover import quick_fig9_config, run_fig9_single
+
+# Consistent with tier-1's global --timeout=600 (enforced where
+# pytest-timeout is installed; inert otherwise).
+pytestmark = pytest.mark.timeout(600)
+
+
+def test_audited_chaos_run_is_clean():
+    result = run_chaos(config=ChaosConfig(audit=True), seed=0)
+    assert result.audited
+    assert result.ok, result.violations + result.anomalies
+    assert result.anomalies == []
+    assert result.history_stats["ops_recorded"] > 0
+    assert result.history_stats["ops_dropped"] == 0
+    assert result.history_stats["coverage_checkpoints"] >= 2
+    assert "clean" in result.to_row()
+
+
+def test_audited_failover_run_is_clean():
+    config = dataclasses.replace(quick_fig9_config(), audit=True)
+    result = run_fig9_single(2, config)
+    assert result.audited
+    assert result.anomalies == []
+    assert result.lost_commits == 0
+    assert result.history_stats["ops_recorded"] > 0

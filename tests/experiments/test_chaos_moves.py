@@ -3,6 +3,8 @@ few fixed seeds (the full 10-seed sweep runs as a benchmark / CI job)."""
 
 import random
 
+import pytest
+
 from repro.experiments.chaos_moves import (
     ChaosConfig,
     build_schedule,
@@ -10,6 +12,9 @@ from repro.experiments.chaos_moves import (
     run_chaos,
     run_chaos_suite,
 )
+
+# Consistent with tier-1's global --timeout=600.
+pytestmark = pytest.mark.timeout(600)
 
 
 class TestSchedule:

@@ -1,0 +1,111 @@
+"""Routing during repartitioning: locate() must keep serving while
+dual pointers exist — the live owner is always among the candidates,
+and the candidate set is never empty at any move phase."""
+
+import pytest
+
+from repro.index.global_table import GlobalPartitionTable, PartitionLocation
+from repro.index.partition_tree import KeyRange
+
+
+@pytest.fixture()
+def gpt():
+    table = GlobalPartitionTable()
+    table.register("kv", KeyRange(None, (50,)), PartitionLocation(1, 1))
+    table.register("kv", KeyRange((50,), None), PartitionLocation(2, 2))
+    return table
+
+
+def all_keys():
+    return [(0,), (25,), (49,), (50,), (75,), (10_000,)]
+
+
+def assert_fully_routable(gpt, owner_by_key):
+    """Every key locates, with a non-empty candidate set containing the
+    node expected to serve it."""
+    for key in all_keys():
+        location = gpt.locate("kv", key)
+        assert location.candidate_nodes, f"no candidates for {key!r}"
+        assert owner_by_key(key) in location.candidate_nodes
+
+
+def test_locate_routes_to_live_owner_mid_move(gpt):
+    gpt.begin_move("kv", 1, target_node_id=3)
+    location = gpt.locate("kv", (25,))
+    assert location.is_moving
+    # Both ends are advised during the move, source first.
+    assert location.candidate_nodes == [1, 3]
+    # Keys of the other partition are unaffected.
+    assert gpt.locate("kv", (75,)).candidate_nodes == [2]
+    assert_fully_routable(gpt, lambda k: 1 if k < (50,) else 2)
+
+
+def test_candidates_never_empty_through_full_move_lifecycle(gpt):
+    """Walk a complete move: at every phase every key is routable."""
+    assert_fully_routable(gpt, lambda k: 1 if k < (50,) else 2)
+    gpt.begin_move("kv", 1, target_node_id=3)
+    assert_fully_routable(gpt, lambda k: 1 if k < (50,) else 2)
+    # Mid-move the *target* must also be advised (records already
+    # shipped live only there).
+    assert 3 in gpt.locate("kv", (25,)).candidate_nodes
+    gpt.finish_move("kv", 1)
+    location = gpt.locate("kv", (25,))
+    assert not location.is_moving
+    assert location.candidate_nodes == [3]
+    assert_fully_routable(gpt, lambda k: 3 if k < (50,) else 2)
+
+
+def test_aborted_move_restores_sole_ownership(gpt):
+    before = gpt.epoch_of("kv", 1)
+    gpt.begin_move("kv", 1, target_node_id=3)
+    gpt.abort_move("kv", 1)
+    location = gpt.locate("kv", (25,))
+    assert not location.is_moving
+    assert location.candidate_nodes == [1]
+    # The epoch fence advanced: a stale mover cannot switch late.
+    assert gpt.epoch_of("kv", 1) == before + 1
+
+
+def test_split_mid_move_keeps_every_key_routable(gpt):
+    """A split carves the upper half onto a new partition while the
+    lower half is being moved: no key may become unroutable."""
+    gpt.begin_move("kv", 1, target_node_id=3)
+    gpt.split("kv", 2, (75,), new_partition_id=4, new_node_id=4)
+
+    def owner(key):
+        if key < (50,):
+            return 1  # source of the in-flight move
+        if key < (75,):
+            return 2
+        return 4
+
+    assert_fully_routable(gpt, owner)
+    # The moving partition still advises both ends after the split.
+    assert gpt.locate("kv", (25,)).candidate_nodes == [1, 3]
+
+
+def test_self_move_is_a_single_candidate(gpt):
+    """A move whose target equals the source (degenerate but legal
+    during journal replay) must not duplicate the candidate."""
+    gpt.begin_move("kv", 1, target_node_id=1)
+    location = gpt.locate("kv", (25,))
+    assert location.candidate_nodes == [1]
+    gpt.finish_move("kv", 1)
+    assert gpt.locate("kv", (25,)).candidate_nodes == [1]
+
+
+def test_locate_range_spans_moving_and_settled_partitions(gpt):
+    gpt.begin_move("kv", 1, target_node_id=3)
+    locations = gpt.locate_range("kv", KeyRange((0,), (60,)))
+    assert {loc.partition_id for loc in locations} == {1, 2}
+    for location in locations:
+        assert location.candidate_nodes
+    # Union of candidates covers source, target, and the other owner.
+    nodes = {n for loc in locations for n in loc.candidate_nodes}
+    assert nodes == {1, 2, 3}
+
+
+def test_double_begin_move_is_rejected(gpt):
+    gpt.begin_move("kv", 1, target_node_id=3)
+    with pytest.raises(RuntimeError):
+        gpt.begin_move("kv", 1, target_node_id=4)

@@ -1,0 +1,164 @@
+"""Vacuum safety properties: GC at any horizon never removes a version
+some live snapshot can still see, and a delete/vacuum/re-insert cycle
+round-trips cleanly."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.storage import Column, RecordVersion, Schema, Segment
+from repro.txn import TransactionManager, mvcc
+
+SCHEMA = Schema([Column("id"), Column("v", "str", width=24)], key=("id",))
+
+
+def fresh():
+    env = Environment()
+    tm = TransactionManager(env)
+    segment = Segment(1, "t", max_pages=64, page_bytes=1024)
+    return env, tm, segment
+
+
+def commit(env, tm, txn):
+    env.run(until=env.process(tm.commit(txn)))
+
+
+def ver(key, value, txn):
+    return RecordVersion.make(SCHEMA, (key, value), created_by=txn.txn_id)
+
+
+def snapshot_view(segment, txn):
+    """Every key's visible value under ``txn``'s snapshot."""
+    view = {}
+    for key, _chain in segment.index_scan():
+        version = mvcc.visible_version(segment, key, txn)
+        if version is not None:
+            view[key] = tuple(version.values)
+    return view
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n_keys=st.integers(min_value=1, max_value=5),
+       n_rounds=st.integers(min_value=1, max_value=12))
+def test_property_vacuum_preserves_live_snapshots(seed, n_keys, n_rounds):
+    """Run a random mutation workload, park reader transactions on
+    arbitrary snapshots along the way, then vacuum at the manager's
+    horizon after every round: no parked reader's view may change."""
+    rng = random.Random(seed)
+    env, tm, segment = fresh()
+
+    # Seed rows.
+    boot = tm.begin()
+    for k in range(n_keys):
+        mvcc.insert(segment, ver(k, "v0", boot), boot)
+    commit(env, tm, boot)
+
+    readers = []  # (txn, frozen view at its snapshot)
+    for _ in range(n_rounds):
+        if rng.random() < 0.6:
+            reader = tm.begin()
+            readers.append((reader, snapshot_view(segment, reader)))
+        writer = tm.begin()
+        key = rng.randrange(n_keys)
+        try:
+            if rng.random() < 0.3 and \
+                    mvcc.visible_version(segment, key, writer) is not None:
+                mvcc.delete(segment, key, writer)
+            elif mvcc.visible_version(segment, key, writer) is not None:
+                mvcc.update(segment, key, ver(key, f"r{writer.txn_id}",
+                                              writer), writer)
+            else:
+                mvcc.insert(segment, ver(key, f"i{writer.txn_id}", writer),
+                            writer)
+        except (mvcc.DuplicateKeyError, KeyError):
+            tm.abort(writer)
+        else:
+            if rng.random() < 0.15:
+                tm.abort(writer)
+            else:
+                commit(env, tm, writer)
+        # The property: vacuum at the true horizon, then every parked
+        # snapshot still reads exactly what it read before.
+        mvcc.vacuum(segment, tm.oldest_active_begin_ts())
+        for reader, frozen in readers:
+            assert snapshot_view(segment, reader) == frozen, \
+                f"vacuum changed the view of snapshot {reader.begin_ts}"
+        # Retire a random parked reader now and then.
+        if readers and rng.random() < 0.4:
+            idx = rng.randrange(len(readers))
+            reader, _ = readers.pop(idx)
+            commit(env, tm, reader)
+
+    for reader, frozen in readers:
+        assert snapshot_view(segment, reader) == frozen
+
+
+@settings(max_examples=40, deadline=None)
+@given(horizon=st.integers(min_value=0, max_value=50))
+def test_property_vacuum_at_any_horizon_keeps_undeleted_rows(horizon):
+    """However aggressive the horizon, vacuum only ever removes
+    delete-marked versions — an undeleted committed row survives."""
+    env, tm, segment = fresh()
+    t1 = tm.begin()
+    mvcc.insert(segment, ver(1, "keep", t1), t1)
+    commit(env, tm, t1)
+    t2 = tm.begin()
+    mvcc.update(segment, 1, ver(1, "keep2", t2), t2)
+    commit(env, tm, t2)
+    mvcc.vacuum(segment, horizon)
+    check = tm.begin()
+    version = mvcc.visible_version(segment, 1, check)
+    assert version is not None
+    assert tuple(version.values) == (1, "keep2")
+
+
+def test_delete_vacuum_reinsert_round_trip():
+    """Regression: a key deleted, vacuumed away, and re-inserted must
+    behave like a fresh row — visible with the new value, exactly one
+    version in the chain, and no tombstone resurrection."""
+    env, tm, segment = fresh()
+
+    t1 = tm.begin()
+    mvcc.insert(segment, ver(7, "first", t1), t1)
+    commit(env, tm, t1)
+
+    t2 = tm.begin()
+    mvcc.delete(segment, 7, t2)
+    commit(env, tm, t2)
+
+    # With no active snapshot, the tombstoned version is reclaimable.
+    reclaimed = mvcc.vacuum(segment, tm.oldest_active_begin_ts())
+    assert reclaimed == 1
+    assert segment.versions_for(7) == []
+
+    t3 = tm.begin()
+    mvcc.insert(segment, ver(7, "second", t3), t3)
+    commit(env, tm, t3)
+
+    t4 = tm.begin()
+    version = mvcc.visible_version(segment, 7, t4)
+    assert version is not None
+    assert tuple(version.values) == (7, "second")
+    assert len(segment.versions_for(7)) == 1
+    # And a second vacuum is a no-op: nothing dead remains.
+    assert mvcc.vacuum(segment, tm.oldest_active_begin_ts()) == 0
+
+
+def test_vacuum_spares_versions_deleted_at_the_horizon():
+    """The GC predicate is strictly-before: a version deleted exactly
+    at the horizon timestamp is still visible to a snapshot sitting at
+    that timestamp and must survive."""
+    env, tm, segment = fresh()
+    t1 = tm.begin()
+    mvcc.insert(segment, ver(1, "row", t1), t1)
+    commit(env, tm, t1)
+    t2 = tm.begin()
+    mvcc.delete(segment, 1, t2)
+    commit(env, tm, t2)
+    delete_ts = t2.commit_ts
+    assert mvcc.vacuum(segment, delete_ts) == 0
+    assert len(segment.versions_for(1)) == 1
+    assert mvcc.vacuum(segment, delete_ts + 1) == 1

@@ -1,0 +1,82 @@
+"""The background vacuum daemon: stoppable, and boundable by the run's
+end time so audited simulations drain completely."""
+
+import pytest
+
+from repro import Cluster, Environment
+from repro.storage import Column, Schema
+from repro.workload import start_vacuum_daemon
+
+
+SCHEMA = Schema([Column("id"), Column("v", "str", width=16)], key=("id",))
+
+
+@pytest.fixture()
+def rig():
+    env = Environment()
+    cluster = Cluster(env, node_count=1, initially_active=1,
+                      segment_max_pages=16, page_bytes=2048)
+    cluster.master.create_table("kv", SCHEMA, owner=cluster.workers[0])
+    return env, cluster
+
+
+def churn(cluster, n=10):
+    def work():
+        for i in range(n):
+            txn = cluster.txns.begin()
+            yield from cluster.master.insert("kv", (i, "a"), txn)
+            yield from cluster.txns.commit(txn)
+            txn = cluster.txns.begin()
+            yield from cluster.master.update("kv", i, (i, "b"), txn)
+            yield from cluster.txns.commit(txn)
+    return work
+
+
+def test_daemon_bounded_by_until_terminates(rig):
+    """With ``until`` set, the daemon's last sweep lands at or before
+    the bound and its process finishes — the event queue drains."""
+    env, cluster = rig
+    handle = start_vacuum_daemon(cluster, interval=5.0, until=22.0)
+    env.run(until=env.process(churn(cluster)()))
+    env.run()  # drain: would never return if the daemon ran forever
+    assert handle.process.is_alive is False
+    assert env.now <= 22.0
+    assert handle.sweeps == 5  # t = 5, 10, 15, 20, and finally 22
+    assert handle.reclaimed == 10  # the superseded pre-update versions
+
+
+def test_daemon_stop_exits_at_next_wakeup(rig):
+    env, cluster = rig
+    handle = start_vacuum_daemon(cluster, interval=5.0)
+    assert not handle.stopped
+
+    def stopper():
+        yield env.timeout(12.0)
+        handle.stop()
+
+    env.run(until=env.process(stopper()))
+    assert handle.stopped
+    env.run()  # the daemon notices the flag at t=15 and exits
+    assert handle.process.is_alive is False
+    assert handle.sweeps == 2  # t = 5, 10; the t=15 wakeup only exits
+
+
+def test_daemon_unbounded_keeps_running(rig):
+    """Without ``until`` (the historical default), the daemon stays
+    scheduled for as long as the simulation runs."""
+    env, cluster = rig
+    handle = start_vacuum_daemon(cluster, interval=5.0)
+    env.run(until=51.0)
+    assert handle.sweeps == 10
+    assert handle.process.is_alive is True
+
+
+def test_daemon_until_before_first_interval_sweeps_once(rig):
+    """A bound shorter than the interval clamps the first sleep: one
+    sweep exactly at the bound, then exit."""
+    env, cluster = rig
+    handle = start_vacuum_daemon(cluster, interval=30.0, until=2.0)
+    env.run()
+    assert env.now == 2.0
+    assert handle.sweeps == 1
+    assert handle.process.is_alive is False
