@@ -1,0 +1,61 @@
+"""Bench: endurance mode — hours-long audited runs, bounded footprint.
+
+Quick scale runs the CI smoke configuration (a few simulated minutes,
+two audit windows, one primary crash) over three seeds.  Full scale
+runs the acceptance configuration — a simulated day, >= 1e6 committed
+transactions — and is the run the tentpole's numbers come from.  Both
+gate on the endurance invariants: no lost acks, WAL footprint within
+two segments of the horizon, checkpoint-bounded recovery replay, zero
+isolation anomalies, the commit target met.
+"""
+
+from repro.experiments.endurance import (
+    full_endurance_config,
+    quick_endurance_config,
+    render_endurance,
+    run_endurance,
+)
+
+
+def _sweep(config, seeds):
+    return [run_endurance(config, seed=seed) for seed in seeds]
+
+
+def test_endurance(benchmark, bench_scale):
+    if bench_scale == "full":
+        config, seeds = full_endurance_config(), (0,)
+    else:
+        config, seeds = quick_endurance_config(), (0, 1, 2)
+    results = benchmark.pedantic(
+        _sweep, args=(config, seeds), rounds=1, iterations=1
+    )
+    print()
+    for result in results:
+        print(render_endurance(result))
+        print()
+
+    for result in results:
+        assert result.ok, result.to_table()
+        assert result.total_anomalies == 0
+        assert result.crashes >= 1
+        assert result.promotions >= 1
+        assert result.drill["image_rows"] > 0
+
+    benchmark.extra_info["seeds"] = len(seeds)
+    benchmark.extra_info["commits"] = sum(r.acked_writes for r in results)
+    benchmark.extra_info["crashes"] = sum(r.crashes for r in results)
+    benchmark.extra_info["violations"] = sum(
+        len(r.violations) for r in results
+    )
+    benchmark.extra_info["peak_footprint_slack"] = max(
+        r.checkpoint_stats["peak_footprint_slack"] for r in results
+    )
+    benchmark.extra_info["max_replay_window"] = max(
+        r.checkpoint_stats["max_replay_window"] for r in results
+    )
+    benchmark.extra_info["records_recycled"] = sum(
+        r.checkpoint_stats["records_recycled"] for r in results
+    )
+    benchmark.extra_info["versions_reclaimed"] = sum(
+        r.vacuum_stats["reclaimed"] for r in results
+    )

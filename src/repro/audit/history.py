@@ -145,14 +145,34 @@ class HistoryRecorder:
     master's router, and the OLTP client then records through it.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 coverage_capacity: int | None = None,
+                 dedupe_coverage: bool = False):
         if capacity < 1:
             raise ValueError("history capacity must be positive")
+        if coverage_capacity is not None and coverage_capacity < 1:
+            raise ValueError("coverage capacity must be positive")
         self.capacity = capacity
         self.ops: collections.deque[Op] = collections.deque(maxlen=capacity)
         self.coverage: list[CoverageCheckpoint] = []
+        #: Cap on *retained* coverage checkpoints (None = unbounded, the
+        #: historical behaviour); overflow drops the oldest and counts it.
+        self.coverage_capacity = coverage_capacity
+        #: When set, a snapshot identical to the previous retained one
+        #: is folded into it instead of stored again — routing state is
+        #: step-wise constant, so hours-long runs mostly snapshot the
+        #: same layout; the fold keeps memory proportional to the number
+        #: of *layout changes*, not samples, without losing any anomaly
+        #: the checkers could have seen (they compare consecutive
+        #: distinct states).
+        self.dedupe_coverage = dedupe_coverage
         self.recorded = 0
         self.counts: dict[str, int] = {}
+        self.coverage_taken = 0
+        self.coverage_deduped = 0
+        self.coverage_dropped = 0
+        self._cleared_ops = 0
+        self.windows_reset = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -241,16 +261,47 @@ class HistoryRecorder:
                 )
                 for key_range, location in gpt.partitions(table)
             ]
+        self.coverage_taken += 1
+        if (self.dedupe_coverage and self.coverage
+                and self.coverage[-1].tables == tables):
+            self.coverage_deduped += 1
+            return self.coverage[-1]
         checkpoint = CoverageCheckpoint(t=now, label=label, tables=tables)
         self.coverage.append(checkpoint)
+        if (self.coverage_capacity is not None
+                and len(self.coverage) > self.coverage_capacity):
+            del self.coverage[0]
+            self.coverage_dropped += 1
         return checkpoint
+
+    # -- windowed audits ---------------------------------------------------
+
+    def reset_window(self) -> dict[str, int]:
+        """Drop the retained ops and coverage after an epoch-windowed
+        audit verdict, returning the closing window's stats.
+
+        Endurance runs audit in windows — run, quiesce, check, reset —
+        so memory stays bounded by one window regardless of run length.
+        Sound because the checkers already tolerate a history whose
+        prefix is missing: reads of pre-window writers are judged by
+        value, transactions with no recorded begin are skipped.
+        Cumulative counters (``recorded``, per-kind counts) survive;
+        only the retained buffers are cleared, and ops cleared here are
+        *not* counted as ring-overflow drops.
+        """
+        summary = self.stats()
+        self._cleared_ops += len(self.ops)
+        self.ops.clear()
+        self.coverage.clear()
+        self.windows_reset += 1
+        return summary
 
     # -- introspection -----------------------------------------------------
 
     @property
     def dropped(self) -> int:
-        """Operations lost to ring overflow."""
-        return self.recorded - len(self.ops)
+        """Operations lost to ring overflow (window resets excluded)."""
+        return self.recorded - self._cleared_ops - len(self.ops)
 
     def stats(self) -> dict[str, int]:
         out = {
@@ -258,6 +309,10 @@ class HistoryRecorder:
             "ops_retained": len(self.ops),
             "ops_dropped": self.dropped,
             "coverage_checkpoints": len(self.coverage),
+            "coverage_taken": self.coverage_taken,
+            "coverage_deduped": self.coverage_deduped,
+            "coverage_dropped": self.coverage_dropped,
+            "windows_reset": self.windows_reset,
         }
         for kind in (BEGIN, READ, WRITE, COMMIT, ABORT, ACK):
             out[kind] = self.counts.get(kind, 0)

@@ -7,6 +7,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.master import MasterNode
 from repro.cluster.monitor import ClusterMonitor, NodeSample, PartitionStats
 from repro.cluster.policies import PolicyThresholds, ScaleDecision, ThresholdPolicy
+from repro.cluster.vacuum import VacuumPolicy, VacuumScheduler
 from repro.cluster.worker import WorkerNode
 
 __all__ = [
@@ -21,5 +22,7 @@ __all__ = [
     "ScaleDecision",
     "TableDef",
     "ThresholdPolicy",
+    "VacuumPolicy",
+    "VacuumScheduler",
     "WorkerNode",
 ]

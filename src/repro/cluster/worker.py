@@ -117,6 +117,10 @@ class WorkerNode:
         #: every data log record is appended — the replication manager
         #: uses it to buffer the record for commit-time shipping.
         self.on_log_write: typing.Callable | None = None
+        #: Newest fuzzy-checkpoint base images, one per local partition
+        #: (:mod:`repro.txn.checkpoint` replaces the whole dict each
+        #: checkpoint, so memory stays bounded on endurance runs).
+        self.checkpoint_images: dict[int, typing.Any] = {}
 
     @staticmethod
     def _assign_disk_roles(disks: typing.Sequence[Disk]) -> tuple[list[Disk], Disk]:
@@ -560,7 +564,7 @@ class WorkerNode:
         txn.note_log(self.wal)
         self.wal.append(txn.txn_id, kind, payload, nbytes)
         if self.on_log_write is not None:
-            self.on_log_write(self, partition, self.wal.records[-1])
+            self.on_log_write(self, partition, self.wal.tail)
 
     def commit(self, txn: Transaction, breakdown: CostBreakdown | None = None,
                cc: str = "mvcc", priority: int = 0):

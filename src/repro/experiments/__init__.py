@@ -21,9 +21,11 @@ from repro.experiments.chaos_moves import (
     run_chaos,
     run_chaos_suite,
 )
+from repro.experiments.endurance import EnduranceConfig, run_endurance
 
 __all__ = [
     "ChaosConfig",
+    "EnduranceConfig",
     "Fig6Config",
     "Fig9Config",
     "run_fig1",
@@ -37,6 +39,7 @@ __all__ = [
     "run_fig9_single",
     "run_chaos",
     "run_chaos_suite",
+    "run_endurance",
     "run_power_validation",
     "run_scale_in",
     "ScaleInConfig",

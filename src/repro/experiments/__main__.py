@@ -14,6 +14,7 @@ Usage::
     python -m repro.experiments scale-in     # extension: scale-in protocol
     python -m repro.experiments chaos        # extension: mover chaos sweep
     python -m repro.experiments chaos --seeds 0 1 2
+    python -m repro.experiments endurance    # extension: audited endurance run
     python -m repro.experiments all          # everything (long)
 
 ``--quick`` (default) uses reduced parameters; ``--full`` the defaults
@@ -154,6 +155,33 @@ def run_chaos_cmd(args) -> str:
     return render_chaos(result)
 
 
+def run_endurance_cmd(args) -> str:
+    import dataclasses
+
+    from repro.experiments.endurance import (
+        full_endurance_config,
+        quick_endurance_config,
+        render_endurance,
+        run_endurance,
+    )
+
+    config = quick_endurance_config() if args.quick \
+        else full_endurance_config()
+    if args.audit:
+        config = dataclasses.replace(config, audit=True)
+    seeds = args.seeds if args.seeds else [config.seed]
+    parts = []
+    failed = False
+    for seed in seeds:
+        result = run_endurance(config, seed=seed)
+        parts.append(render_endurance(result))
+        failed = failed or not result.ok
+    out = "\n\n".join(parts)
+    if failed:
+        raise SystemExit(out)
+    return out
+
+
 COMMANDS = {
     "power": run_power,
     "fig1": run_fig1_cmd,
@@ -165,6 +193,7 @@ COMMANDS = {
     "fig9": run_fig9_cmd,
     "scale-in": run_scale_in_cmd,
     "chaos": run_chaos_cmd,
+    "endurance": run_endurance_cmd,
 }
 
 

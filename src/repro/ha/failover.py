@@ -245,9 +245,9 @@ class FailoverCoordinator:
         old_partition = dead.partitions.get(location.partition_id)
 
         # Sequential scan of the replica log on the holder's log disk.
-        log_bytes = max(
-            sum(r.nbytes for r in replica.log.records), LOG_BLOCK_BYTES
-        )
+        # ``live_bytes`` is maintained by the log manager, so promotion
+        # cost is bounded by the compacted log, not the log's history.
+        log_bytes = max(replica.log.live_bytes, LOG_BLOCK_BYTES)
         yield from holder.log_disk.read(
             log_bytes, sequential=True, priority=priority
         )

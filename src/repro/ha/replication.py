@@ -58,6 +58,11 @@ class SegmentReplica:
     #: replica must never be promoted and is dropped by re-replication.
     stale: bool = False
     bytes_shipped: int = 0
+    #: Highest *primary-WAL* LSN this replica has durably acknowledged
+    #: (seeding covers everything committed before it; each shipped
+    #: commit advances it).  The checkpoint manager's recycling horizon
+    #: never passes an un-acked record.
+    acked_lsn: int = 0
 
 
 class ReplicaSet:
@@ -192,11 +197,91 @@ class ReplicationManager:
                     self.ship_failures += 1
                     continue
                 replica.bytes_shipped += payload_bytes
+                replica.acked_lsn = max(replica.acked_lsn,
+                                        records[-1].lsn)
                 self.records_shipped += len(records)
                 self.bytes_shipped += payload_bytes
             self.commits_shipped += 1
         if breakdown is not None:
             breakdown.add("replication", self.env.now - t0)
+
+    # -- recycling horizon ---------------------------------------------------
+
+    def acked_horizon(self, node_id: int) -> int | None:
+        """Lowest primary-WAL LSN on ``node_id`` that a replica of one
+        of its partitions has *not* yet acknowledged, or ``None`` when
+        nothing is in flight (shipping is synchronous, so a live
+        replica is only ever behind by the commits currently buffered).
+        WAL records below the returned LSN are safe to recycle as far
+        as replication is concerned."""
+        pin: int | None = None
+        for records in self._pending.values():
+            for partition_id, record in records:
+                replica_set = self.catalog.replica_set_for(partition_id)
+                if replica_set is None \
+                        or replica_set.primary_node_id != node_id \
+                        or not replica_set.replicas:
+                    continue
+                if pin is None or record.lsn < pin:
+                    pin = record.lsn
+        return pin
+
+    # -- replica-log compaction ----------------------------------------------
+
+    def compact_replica(self, replica: SegmentReplica, table: str,
+                        priority: int = 0):
+        """Generator: rewrite a replica's log as a fresh base image
+        plus nothing — the bounded-promotion-replay counterpart of WAL
+        recycling on the primary.
+
+        The fold (committed state out of the old records) and the
+        rewrite are synchronous, so they are atomic with respect to
+        concurrent shipments; only the holder's disk I/O takes
+        simulated time.  Returns True when the log was compacted.
+        """
+        holder = self.cluster.worker(replica.holder_node_id)
+        if replica.stale or not holder.is_serving:
+            return False
+        log = replica.log
+        old_bytes = max(log.live_bytes, LOG_BLOCK_BYTES)
+        try:
+            yield from holder.log_disk.read(old_bytes, sequential=True,
+                                            priority=priority)
+        except DiskFailedError:
+            replica.stale = True
+            self.ship_failures += 1
+            return False
+        committed: set[int] = set()
+        aborted: set[int] = set()
+        for record in log.records:
+            if record.kind == "commit":
+                committed.add(record.txn_id)
+            elif record.kind == "abort":
+                aborted.add(record.txn_id)
+        committed -= aborted
+        rows: dict = {}
+        for record in log.records:
+            if record.txn_id not in committed:
+                continue
+            if record.kind in ("insert", "update"):
+                _table, key, values = record.payload
+                rows[key] = (values, record.nbytes)
+            elif record.kind == "delete":
+                _table, key = record.payload
+                rows.pop(key, None)
+        first_new = log._next_lsn + 1
+        for key, (values, nbytes) in rows.items():
+            log.append(REPLICA_BASE_TXN_ID, "insert", (table, key, values),
+                       nbytes=nbytes)
+        lsn = log.append(REPLICA_BASE_TXN_ID, "commit")
+        log.truncate_before(first_new)
+        try:
+            yield from log.flush(lsn, None, priority)
+        except DiskFailedError:
+            replica.stale = True
+            self.ship_failures += 1
+            return False
+        return True
 
     # -- protection / re-replication ----------------------------------------
 
@@ -271,6 +356,9 @@ class ReplicationManager:
         )
         yield from log.flush(lsn, None, priority)
         replica = SegmentReplica(holder.node_id, log, self.env.now)
+        # The base image reflects every row committed on the owner so
+        # far; in-flight transactions stay pinned by ``_pending``.
+        replica.acked_lsn = owner.wal._next_lsn
         replica.bytes_shipped += data_bytes
         self.bytes_shipped += data_bytes
         replica_set.replicas.append(replica)
@@ -279,12 +367,7 @@ class ReplicationManager:
     @staticmethod
     def _committed_rows(partition: "Partition"):
         """Yield ``(key, values, size_bytes)`` for the newest committed
-        version of every live record."""
-        for segment_id in sorted(partition.segments):
-            segment = partition.segments[segment_id]
-            for key, _chain in segment.index_scan():
-                for _page_no, _slot, version in segment.versions_for(key):
-                    if version.created_ts is None or version.deleted_ts is not None:
-                        continue
-                    yield key, tuple(version.values), version.size_bytes
-                    break
+        version of every live record (the shared base-image scan)."""
+        from repro.txn.checkpoint import iter_committed_rows
+
+        return iter_committed_rows(partition)

@@ -105,3 +105,35 @@ class ClusterEnergyMeter:
         self._last_sample_time = now
         self._last_sample_energy = energy
         return now, watts
+
+
+class LoadGauge:
+    """Windowed CPU-utilisation observer for one node machine.
+
+    Each :meth:`sample` returns the mean fraction of busy cores since
+    the previous sample and advances the window — the signal the
+    power-aware vacuum scheduler throttles on ("run GC on idle nodes,
+    pause it under load").  Several gauges can watch one machine: the
+    underlying :class:`~repro.sim.resources.UtilizationTracker` is
+    shared and each observer keeps its own checkpoint.
+    """
+
+    def __init__(self, machine: "NodeMachine"):
+        self.machine = machine
+        self._last_time = machine.env.now
+        self._last_integral = machine.cpu.tracker.integral()
+
+    def sample(self) -> float:
+        """Mean utilisation (0..1) since the previous sample."""
+        now = self.machine.env.now
+        integral = self.machine.cpu.tracker.integral(now)
+        elapsed = now - self._last_time
+        if elapsed <= 0:
+            busy = self.machine.cpu.tracker.in_use / self.machine.cpu.cores
+        else:
+            busy = (integral - self._last_integral) / (
+                self.machine.cpu.cores * elapsed
+            )
+        self._last_time = now
+        self._last_integral = integral
+        return busy

@@ -95,6 +95,48 @@ def render_move_summary(summary: dict[str, int],
     return render_table(["metric", "value"], rows, title=title)
 
 
+def render_wal_summary(retention: dict[str, int],
+                       checkpoint_stats: dict[str, int] | None = None,
+                       vacuum_stats: dict[str, int] | None = None,
+                       title: str = "WAL summary") -> str:
+    """Render one WAL's :meth:`retention_stats` — the segment
+    lifecycle counters — optionally joined with a checkpoint manager's
+    and a vacuum scheduler's :meth:`stats` for the endurance report."""
+    rows = [
+        ["live records", retention.get("live_records", 0)],
+        ["live bytes", retention.get("live_bytes", 0)],
+        ["segments held", retention.get("segments", 0)],
+        ["segments sealed", retention.get("segments_sealed", 0)],
+        ["segments dropped", retention.get("segments_dropped", 0)],
+        ["segments recycled", retention.get("segments_recycled", 0)],
+        ["records truncated", retention.get("records_truncated", 0)],
+        ["next LSN", retention.get("next_lsn", 0)],
+    ]
+    if checkpoint_stats:
+        rows += [
+            ["checkpoints taken", checkpoint_stats.get(
+                "checkpoints_taken", 0)],
+            ["records recycled", checkpoint_stats.get(
+                "records_recycled", 0)],
+            ["image bytes written", checkpoint_stats.get(
+                "image_bytes_written", 0)],
+            ["max replay window", checkpoint_stats.get(
+                "max_replay_window", 0)],
+            ["peak footprint slack", checkpoint_stats.get(
+                "peak_footprint_slack", 0)],
+            ["replica compactions", checkpoint_stats.get(
+                "replica_compactions", 0)],
+        ]
+    if vacuum_stats:
+        rows += [
+            ["vacuum sweeps", vacuum_stats.get("sweeps", 0)],
+            ["vacuum chunks", vacuum_stats.get("chunks", 0)],
+            ["versions reclaimed", vacuum_stats.get("reclaimed", 0)],
+            ["throttled ticks", vacuum_stats.get("throttled_ticks", 0)],
+        ]
+    return render_table(["metric", "value"], rows, title=title)
+
+
 def render_audit_summary(label: str, anomalies: typing.Sequence[str],
                          stats: dict[str, int]) -> str:
     """Render one audited run's verdict: the evidence volume (how many

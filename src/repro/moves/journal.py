@@ -75,6 +75,9 @@ class SegmentMoveEntry:
     fence: tuple[str, int] | None = None
     #: Owning range move, when this segment moves as part of one.
     range_move_id: int | None = None
+    #: Master-WAL LSN of the PREPARE record — while the move is open it
+    #: pins the WAL's recycling horizon (resume needs the journal).
+    prepare_lsn: int | None = None
     # -- accounting ------------------------------------------------------
     retries: int = 0
     #: Retries that continued from a non-zero chunk checkpoint instead
@@ -114,6 +117,8 @@ class RangeMoveEntry:
     segments_switched: int = 0
     epoch: int | None = None
     detail: str = ""
+    #: Master-WAL LSN of the PREPARE record (see SegmentMoveEntry).
+    prepare_lsn: int | None = None
 
     @property
     def is_open(self) -> bool:
@@ -137,9 +142,12 @@ class MoveJournal:
 
     # -- WAL mirroring ----------------------------------------------------
 
-    def _log(self, kind: str, payload: tuple) -> None:
+    def _log(self, kind: str, payload: tuple) -> int | None:
         if self.wal is not None:
-            self.wal.append(txn_id=0, kind=kind, payload=payload)
+            lsn = self.wal.append(txn_id=0, kind=kind, payload=payload)
+            # Duck-typed journals in tests may not return an LSN.
+            return lsn if isinstance(lsn, int) else None
+        return None
 
     # -- segment moves ----------------------------------------------------
 
@@ -157,8 +165,10 @@ class MoveJournal:
             fence=fence, epoch=epoch, range_move_id=range_move_id,
         )
         self.segment_moves[entry.move_id] = entry
-        self._log("move", (entry.move_id, PREPARE, segment_id,
-                           source_node, target_node, bytes_total))
+        entry.prepare_lsn = self._log(
+            "move", (entry.move_id, PREPARE, segment_id,
+                     source_node, target_node, bytes_total)
+        )
         return entry
 
     def resumable_segment_move(self, segment_id: int, source_node: int,
@@ -203,9 +213,11 @@ class MoveJournal:
             mode=mode, epoch=epoch,
         )
         self.range_moves[entry.move_id] = entry
-        self._log("range-move", (entry.move_id, PREPARE, table,
-                                 source_partition_id, target_partition_id,
-                                 source_node, target_node, mode))
+        entry.prepare_lsn = self._log(
+            "range-move", (entry.move_id, PREPARE, table,
+                           source_partition_id, target_partition_id,
+                           source_node, target_node, mode)
+        )
         return entry
 
     def advance_range(self, entry: RangeMoveEntry, phase: str,
@@ -231,6 +243,18 @@ class MoveJournal:
 
     def open_range_moves(self) -> list[RangeMoveEntry]:
         return [e for e in self.range_moves.values() if e.is_open]
+
+    def oldest_open_move_lsn(self) -> int | None:
+        """The PREPARE LSN of the oldest still-open move in the WAL the
+        journal mirrors to, or None when no open move pins it.  The
+        checkpoint manager must not recycle WAL records at or past an
+        open move's journal trail — a crashed coordinator re-drives the
+        move from exactly those records."""
+        lsns = [e.prepare_lsn for e in self.open_segment_moves()
+                if e.prepare_lsn is not None]
+        lsns += [e.prepare_lsn for e in self.open_range_moves()
+                 if e.prepare_lsn is not None]
+        return min(lsns) if lsns else None
 
     def open_moves_involving(self, node_id: int
                              ) -> tuple[list[SegmentMoveEntry],

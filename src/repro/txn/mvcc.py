@@ -129,12 +129,27 @@ def vacuum(segment: Segment, horizon_ts: int) -> int:
     Returns the number of versions reclaimed.  This is what eventually
     returns the MVCC storage overhead of Fig. 3 back to baseline.
     """
-    reclaimed = 0
+    reclaimed, _exhausted = vacuum_chunk(segment, horizon_ts, limit=None)
+    return reclaimed
+
+
+def vacuum_chunk(segment: Segment, horizon_ts: int,
+                 limit: int | None = None) -> tuple[int, bool]:
+    """Bounded vacuum: reclaim at most ``limit`` dead versions.
+
+    Returns ``(reclaimed, exhausted)``; ``exhausted`` is True when the
+    segment holds no further reclaimable versions at this horizon, so a
+    resumable scheduler knows whether to revisit the segment next tick
+    or move on.  ``limit=None`` degenerates to a full sweep.
+    """
     dead: list[tuple[typing.Any, int, int]] = []
+    exhausted = True
     for page_no, slot, version in segment.scan_versions():
         if version.deleted_ts is not None and version.deleted_ts < horizon_ts:
             dead.append((version.key, page_no, slot))
+            if limit is not None and len(dead) >= limit:
+                exhausted = False
+                break
     for key, page_no, slot in dead:
         segment.remove_version(key, page_no, slot)
-        reclaimed += 1
-    return reclaimed
+    return len(dead), exhausted

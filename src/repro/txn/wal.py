@@ -1,4 +1,4 @@
-"""Write-ahead logging with group commit and log shipping.
+"""Write-ahead logging with group commit, log shipping, and segments.
 
 "For durability reasons, write-ahead logs must be maintained at all
 times.  When repartitioning, although record ownership changes, log
@@ -9,10 +9,18 @@ checkpoint." (Sect. 4.3)
 The helper-node experiment (Fig. 8) ships log writes to a helper over
 the network instead of the local disk — implemented here as a pluggable
 sink.
+
+Endurance runs hold the log for simulated hours, so the record store is
+*segmented*: the tail segment absorbs appends, fills up, and is sealed;
+:meth:`LogManager.truncate_before` drops whole sealed segments in O(1)
+once they fall behind the recycling horizon (the checkpoint/replication/
+move minimum computed by :mod:`repro.txn.checkpoint`), recycling their
+shells for future tail segments instead of growing the heap forever.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import typing
 
@@ -28,6 +36,14 @@ LOG_BLOCK_BYTES = 4096
 #: Fixed serialized overhead per log record.
 LOG_RECORD_HEADER_BYTES = 48
 
+#: Records per log segment before the tail is sealed and a new one
+#: starts.  Small enough that a horizon advance frees memory promptly,
+#: large enough that sealing is rare on the append path.
+DEFAULT_SEGMENT_RECORDS = 1024
+
+#: Recycled (empty) segment shells kept for reuse per log.
+_MAX_FREE_SEGMENTS = 8
+
 
 @dataclasses.dataclass(frozen=True)
 class LogRecord:
@@ -38,6 +54,105 @@ class LogRecord:
     kind: str  # insert | delete | update | commit | abort | checkpoint
     payload: typing.Any = None
     nbytes: int = LOG_RECORD_HEADER_BYTES
+
+
+class LogSegment:
+    """A fixed-capacity run of consecutive records.
+
+    Only the youngest segment of a log accepts appends; once full it is
+    *sealed*.  A sealed segment whose last LSN falls behind the
+    recycling horizon is dropped whole — an O(1) deque pop — and its
+    shell reused for a future tail segment.
+    """
+
+    __slots__ = ("records", "sealed")
+
+    def __init__(self):
+        self.records: list[LogRecord] = []
+        self.sealed = False
+
+    @property
+    def first_lsn(self) -> int:
+        return self.records[0].lsn if self.records else 0
+
+    @property
+    def last_lsn(self) -> int:
+        return self.records[-1].lsn if self.records else 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "sealed" if self.sealed else "tail"
+        return f"<LogSegment {state} lsn {self.first_lsn}..{self.last_lsn}>"
+
+
+class LogRecordsView:
+    """Sequence view over a log's live records, across segments.
+
+    Backward-compatible stand-in for the monolithic ``records`` list:
+    iteration, ``len``, indexing, ``reversed``, ``index`` — and item
+    assignment, which writes through to the owning segment (the audit
+    suite's tamper helpers rely on in-place mutation being visible to
+    later replays).
+    """
+
+    __slots__ = ("_log",)
+
+    def __init__(self, log: "LogManager"):
+        self._log = log
+
+    def __len__(self) -> int:
+        return self._log.live_records
+
+    def __bool__(self) -> bool:
+        return self._log.live_records > 0
+
+    def __iter__(self):
+        for segment in self._log._segments:
+            yield from segment.records
+
+    def __reversed__(self):
+        for segment in reversed(self._log._segments):
+            yield from reversed(segment.records)
+
+    def _locate(self, index: int) -> tuple[list[LogRecord], int]:
+        n = self._log.live_records
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("log record index out of range")
+        for segment in self._log._segments:
+            m = len(segment.records)
+            if index < m:
+                return segment.records, index
+            index -= m
+        raise IndexError("log record index out of range")  # pragma: no cover
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        records, i = self._locate(index)
+        return records[i]
+
+    def __setitem__(self, index: int, value: LogRecord) -> None:
+        records, i = self._locate(index)
+        records[i] = value
+
+    def __contains__(self, record) -> bool:
+        return any(r is record or r == record for r in self)
+
+    def index(self, record) -> int:
+        for i, r in enumerate(self):
+            if r is record or r == record:
+                return i
+        raise ValueError(f"{record!r} is not in the log")
+
+    def count(self, record) -> int:
+        return sum(1 for r in self if r == record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LogRecordsView of {self._log.name}: {len(self)} records>"
 
 
 class LogShippingSink:
@@ -61,11 +176,18 @@ class LogShippingSink:
 class LogManager:
     """Per-node WAL: in-memory append, forced flush with group commit."""
 
-    def __init__(self, env: Environment, disk: Disk, name: str = "wal"):
+    def __init__(self, env: Environment, disk: Disk, name: str = "wal",
+                 segment_records: int = DEFAULT_SEGMENT_RECORDS):
+        if segment_records < 1:
+            raise ValueError("segment_records must be positive")
         self.env = env
         self.disk = disk
         self.name = name
-        self.records: list[LogRecord] = []
+        self.segment_records = segment_records
+        self._segments: collections.deque[LogSegment] = collections.deque()
+        self._segments.append(LogSegment())
+        self._free: list[LogSegment] = []
+        self.records = LogRecordsView(self)
         self._next_lsn = 0
         self._appended_bytes = 0
         self._flushed_bytes = 0
@@ -74,6 +196,32 @@ class LogManager:
         self._sink: LogShippingSink | None = None
         self.flush_count = 0
         self.bytes_flushed_total = 0
+        #: The most recently appended record (the hot-path accessor the
+        #: access layer uses instead of indexing the records view).
+        self.tail: LogRecord | None = None
+        # -- retention bookkeeping ----------------------------------------
+        #: Records / payload bytes currently held in memory (after
+        #: truncation, not since birth).
+        self.live_records = 0
+        self.live_bytes = 0
+        #: LSN of the newest checkpoint record, and the REDO start LSN
+        #: it implies (its own LSN for plain/move checkpoints, the
+        #: payload's ``redo_lsn`` for fuzzy checkpoints).
+        self.last_checkpoint_lsn = 0
+        self.last_checkpoint_redo_lsn = 0
+        #: ``_appended_bytes`` as of the newest checkpoint — the delta
+        #: is the dirtied-bytes charge of the next fuzzy checkpoint.
+        self.appended_at_last_checkpoint = 0
+        #: txn_id -> LSN of the transaction's first data record still
+        #: unresolved (popped on commit/abort) — the active-transaction
+        #: table a fuzzy checkpoint snapshots.
+        self._txn_first_lsn: dict[int, int] = {}
+        # -- segment lifecycle counters -----------------------------------
+        self.segments_sealed = 0
+        self.segments_dropped = 0
+        self.segments_recycled = 0
+        self.segments_allocated = 1
+        self.records_truncated = 0
 
     # -- sink management (log shipping) --------------------------------------
 
@@ -89,6 +237,31 @@ class LogManager:
     def is_shipping(self) -> bool:
         return self._sink is not None
 
+    # -- segment plumbing -----------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def _push_segment(self) -> LogSegment:
+        if self._free:
+            segment = self._free.pop()
+            self.segments_recycled += 1
+        else:
+            segment = LogSegment()
+            self.segments_allocated += 1
+        self._segments.append(segment)
+        return segment
+
+    def _drop_segment(self) -> LogSegment:
+        segment = self._segments.popleft()
+        segment.records.clear()
+        segment.sealed = False
+        self.segments_dropped += 1
+        if len(self._free) < _MAX_FREE_SEGMENTS:
+            self._free.append(segment)
+        return segment
+
     # -- append / flush ------------------------------------------------------
 
     def append(self, txn_id: int, kind: str, payload: typing.Any = None,
@@ -100,8 +273,28 @@ class LogManager:
         self._next_lsn += 1
         size = LOG_RECORD_HEADER_BYTES if nbytes is None else nbytes
         record = LogRecord(self._next_lsn, txn_id, kind, payload, size)
-        self.records.append(record)
+        segment = self._segments[-1]
+        if len(segment.records) >= self.segment_records:
+            segment.sealed = True
+            self.segments_sealed += 1
+            segment = self._push_segment()
+        segment.records.append(record)
+        self.tail = record
+        self.live_records += 1
+        self.live_bytes += size
         self._appended_bytes += size
+        if txn_id > 0:
+            if kind == "commit" or kind == "abort":
+                self._txn_first_lsn.pop(txn_id, None)
+            elif txn_id not in self._txn_first_lsn:
+                self._txn_first_lsn[txn_id] = record.lsn
+        elif kind == "checkpoint":
+            self.last_checkpoint_lsn = record.lsn
+            redo = getattr(payload, "redo_lsn", None)
+            self.last_checkpoint_redo_lsn = (
+                record.lsn if redo is None else redo
+            )
+            self.appended_at_last_checkpoint = self._appended_bytes
         return record.lsn
 
     def flush(self, lsn: int, breakdown: CostBreakdown | None = None,
@@ -143,16 +336,70 @@ class LogManager:
         """Append a checkpoint marker (partition moves act as one)."""
         return self.append(txn_id=0, kind="checkpoint", payload=payload)
 
+    def oldest_active_redo_lsn(self) -> int | None:
+        """LSN of the oldest data record of a still-open transaction,
+        or None when no transaction with logged writes is open — the
+        lower bound a fuzzy checkpoint's ``redo_lsn`` must respect."""
+        if not self._txn_first_lsn:
+            return None
+        return min(self._txn_first_lsn.values())
+
     def truncate_before(self, lsn: int) -> int:
         """Drop records older than ``lsn``; returns how many were cut.
 
         After a successful partition move "the old copies and the old
         log file are no longer required".
+
+        Whole segments behind the horizon are dropped in O(1) each and
+        their shells recycled; only the single boundary segment needs a
+        prefix trim, keeping the LSN-exact contract of the monolithic
+        implementation at amortized O(1) per retired record.
         """
-        keep = [r for r in self.records if r.lsn >= lsn]
-        cut = len(self.records) - len(keep)
-        self.records = keep
+        cut = 0
+        while len(self._segments) > 1:
+            head = self._segments[0]
+            if not head.records or head.records[-1].lsn >= lsn:
+                break
+            n = len(head.records)
+            nbytes = sum(r.nbytes for r in head.records)
+            cut += n
+            self.live_records -= n
+            self.live_bytes -= nbytes
+            self._drop_segment()
+        head = self._segments[0].records
+        keep_from = 0
+        while keep_from < len(head) and head[keep_from].lsn < lsn:
+            keep_from += 1
+        if keep_from:
+            trimmed = head[:keep_from]
+            del head[:keep_from]
+            cut += len(trimmed)
+            self.live_records -= len(trimmed)
+            self.live_bytes -= sum(r.nbytes for r in trimmed)
+        self.records_truncated += cut
         return cut
+
+    def iter_from(self, lsn: int) -> typing.Iterator[LogRecord]:
+        """Iterate live records with LSN strictly greater than ``lsn``,
+        skipping whole segments that end at or before it — the bounded
+        REDO scan (recovery never touches pre-checkpoint segments)."""
+        for segment in self._segments:
+            records = segment.records
+            if not records or records[-1].lsn <= lsn:
+                continue
+            if records[0].lsn > lsn:
+                yield from records
+                continue
+            # Boundary segment: LSNs are consecutive within a segment.
+            lo, hi = 0, len(records)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if records[mid].lsn <= lsn:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            for i in range(lo, len(records)):
+                yield records[i]
 
     def committed_ops_since(self, lsn: int = 0) -> list[LogRecord]:
         """Redo scan: data records of transactions with a flushed-side
@@ -163,12 +410,32 @@ class LogManager:
         raced a mid-flight commit, and the abort reflects the
         in-memory outcome.
         """
-        committed = {
-            r.txn_id for r in self.records if r.kind == "commit" and r.lsn > lsn
-        }
-        committed -= {r.txn_id for r in self.records if r.kind == "abort"}
+        committed: set[int] = set()
+        aborted: set[int] = set()
+        for r in self.iter_from(lsn):
+            if r.kind == "commit":
+                committed.add(r.txn_id)
+            elif r.kind == "abort":
+                aborted.add(r.txn_id)
+        committed -= aborted
         return [
-            r for r in self.records
-            if r.lsn > lsn and r.txn_id in committed
+            r for r in self.iter_from(lsn)
+            if r.txn_id in committed
             and r.kind in ("insert", "delete", "update")
         ]
+
+    # -- introspection --------------------------------------------------------
+
+    def retention_stats(self) -> dict[str, int]:
+        """Segment-lifecycle counters for the metrics report."""
+        return {
+            "live_records": self.live_records,
+            "live_bytes": self.live_bytes,
+            "segments": len(self._segments),
+            "segments_sealed": self.segments_sealed,
+            "segments_dropped": self.segments_dropped,
+            "segments_recycled": self.segments_recycled,
+            "segments_allocated": self.segments_allocated,
+            "records_truncated": self.records_truncated,
+            "next_lsn": self._next_lsn,
+        }

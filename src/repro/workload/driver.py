@@ -10,70 +10,34 @@ from __future__ import annotations
 
 import typing
 
+from repro.cluster.vacuum import VacuumPolicy, VacuumScheduler
 from repro.metrics.breakdown import CostBreakdown
 from repro.metrics.series import TimeSeries
-from repro.txn import mvcc
 from repro.workload.client import OltpClient
 from repro.workload.tpcc_txns import TpccContext
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
 
-
-class VacuumDaemon:
-    """Handle to the background version GC: stoppable, and optionally
-    bounded by the run's end time so audited runs terminate
-    deterministically instead of leaving a live process scheduled past
-    the workload's ``run(duration)``."""
-
-    def __init__(self):
-        self.process = None
-        self.sweeps = 0
-        self.reclaimed = 0
-        self._stop = False
-
-    def stop(self) -> None:
-        """Ask the daemon to exit at its next wakeup."""
-        self._stop = True
-
-    @property
-    def stopped(self) -> bool:
-        return self._stop
+#: Historical name for the daemon handle; the scheduler carries the
+#: same ``process`` / ``sweeps`` / ``reclaimed`` / ``stop()`` surface.
+VacuumDaemon = VacuumScheduler
 
 
 def start_vacuum_daemon(cluster: "Cluster", interval: float = 30.0,
-                        until: float | None = None) -> VacuumDaemon:
+                        until: float | None = None) -> VacuumScheduler:
     """Launch the background version GC on every worker's partitions.
 
-    ``until`` bounds the daemon to the run's end time: the final sweep
-    happens at or before ``until`` and the process then finishes, so a
-    bounded simulation drains completely.  Without it the daemon runs
-    for as long as the simulation does (the historical behaviour).
+    Compatibility front door for :class:`repro.cluster.vacuum
+    .VacuumScheduler` in its un-throttled mode: one full sweep per
+    ``interval``, exactly one wakeup event per tick (determinism
+    goldens fingerprint the event count), final sweep at or before
+    ``until`` so a bounded simulation drains completely.  Endurance
+    runs construct the scheduler directly with a throttled
+    :class:`~repro.cluster.vacuum.VacuumPolicy` instead.
     """
-    handle = VacuumDaemon()
-
-    def daemon():
-        env = cluster.env
-        while not handle._stop:
-            step = interval
-            if until is not None:
-                step = min(step, until - env.now)
-                if step <= 0:
-                    break
-            yield env.timeout(step)
-            if handle._stop:
-                break
-            horizon = cluster.txns.oldest_active_begin_ts()
-            handle.sweeps += 1
-            for worker in cluster.active_workers():
-                for partition in list(worker.partitions.values()):
-                    for segment in list(partition.segments.values()):
-                        handle.reclaimed += mvcc.vacuum(segment, horizon)
-            if until is not None and env.now >= until:
-                break
-
-    handle.process = cluster.env.process(daemon(), name="vacuum-daemon")
-    return handle
+    policy = VacuumPolicy(interval=interval)
+    return VacuumScheduler(cluster, policy, until=until).start()
 
 
 class WorkloadDriver:

@@ -1,0 +1,146 @@
+"""Segmented WAL: seal/recycle/drop lifecycle and LSN-exact recycling.
+
+The log is a deque of fixed-size segments; ``truncate_before`` must
+drop whole sealed segments in O(1) while keeping the historical
+LSN-exact contract (the returned cut count and the surviving records
+are identical to the old list-slicing implementation).
+"""
+
+import pytest
+
+from repro.hardware import Disk, SSD_SPEC
+from repro.sim import Environment
+from repro.txn import LogManager
+
+
+def make_log(segment_records=4):
+    env = Environment()
+    disk = Disk(env, SSD_SPEC, name="logdisk")
+    return env, disk, LogManager(env, disk, segment_records=segment_records)
+
+
+class TestSegmentLifecycle:
+    def test_full_segments_seal_and_count(self):
+        _env, _disk, log = make_log(segment_records=4)
+        for i in range(10):
+            log.append(1, "insert", payload=i)
+        stats = log.retention_stats()
+        assert stats["segments"] == 3          # 4 + 4 + 2
+        assert stats["segments_sealed"] == 2
+        assert log.live_records == 10
+        assert [r.payload for r in log.records] == list(range(10))
+
+    def test_truncate_drops_whole_segments(self):
+        _env, _disk, log = make_log(segment_records=4)
+        for i in range(12):
+            log.append(1, "insert", payload=i)
+        cut = log.truncate_before(9)           # segments [1-4] [5-8] whole
+        assert cut == 8
+        assert log.live_records == 4
+        assert [r.lsn for r in log.records] == [9, 10, 11, 12]
+        stats = log.retention_stats()
+        assert stats["segments_dropped"] == 2
+        assert stats["records_truncated"] == 8
+
+    def test_truncate_is_lsn_exact_within_a_segment(self):
+        """A horizon inside a segment trims the record prefix exactly —
+        not rounded down to a segment boundary."""
+        _env, _disk, log = make_log(segment_records=8)
+        for i in range(8):
+            log.append(1, "insert", payload=i)
+        cut = log.truncate_before(4)
+        assert cut == 3
+        assert [r.lsn for r in log.records] == [4, 5, 6, 7, 8]
+        # Second exact cut in the same boundary segment.
+        assert log.truncate_before(6) == 2
+        assert [r.lsn for r in log.records] == [6, 7, 8]
+
+    def test_dropped_segment_shells_are_recycled(self):
+        _env, _disk, log = make_log(segment_records=4)
+        for i in range(9):
+            log.append(1, "insert", payload=i)
+        log.truncate_before(9)
+        before = log.retention_stats()
+        assert before["segments_dropped"] == 2
+        for i in range(8):                     # fills two fresh segments
+            log.append(1, "insert", payload=100 + i)
+        after = log.retention_stats()
+        assert after["segments_recycled"] >= 1
+        # LSNs stay contiguous across recycling.
+        assert [r.lsn for r in log.records] == list(range(9, 18))
+
+    def test_truncate_never_drops_the_tail_segment(self):
+        _env, _disk, log = make_log(segment_records=4)
+        for i in range(6):
+            log.append(1, "insert", payload=i)
+        cut = log.truncate_before(10_000)      # horizon past the tail
+        assert cut == 6
+        assert log.live_records == 0
+        # Appends continue with the next LSN as if nothing happened.
+        assert log.append(2, "insert") == 7
+        assert [r.lsn for r in log.records] == [7]
+
+
+class TestIterFrom:
+    def test_iter_from_skips_sealed_segments(self):
+        _env, _disk, log = make_log(segment_records=4)
+        for i in range(12):
+            log.append(1, "insert", payload=i)
+        assert [r.lsn for r in log.iter_from(9)] == [10, 11, 12]
+        assert [r.lsn for r in log.iter_from(0)] == list(range(1, 13))
+        assert list(log.iter_from(12)) == []
+
+    def test_iter_from_binary_searches_boundary_segment(self):
+        _env, _disk, log = make_log(segment_records=8)
+        for i in range(8):
+            log.append(1, "insert", payload=i)
+        assert [r.lsn for r in log.iter_from(5)] == [6, 7, 8]
+
+    def test_iter_from_after_truncation(self):
+        _env, _disk, log = make_log(segment_records=4)
+        for i in range(12):
+            log.append(1, "insert", payload=i)
+        log.truncate_before(7)
+        assert [r.lsn for r in log.iter_from(8)] == [9, 10, 11, 12]
+
+
+class TestRecordsView:
+    """The ``records`` attribute stayed sequence-shaped for existing
+    callers: len, iteration, indexing, negative indexing, slices."""
+
+    def test_indexing_spans_segments(self):
+        _env, _disk, log = make_log(segment_records=3)
+        for i in range(8):
+            log.append(1, "insert", payload=i)
+        assert log.records[0].payload == 0
+        assert log.records[4].payload == 4
+        assert log.records[-1].payload == 7
+        assert [r.payload for r in log.records[2:5]] == [2, 3, 4]
+        with pytest.raises(IndexError):
+            log.records[8]
+
+    def test_reversed_iteration(self):
+        _env, _disk, log = make_log(segment_records=3)
+        for i in range(7):
+            log.append(1, "insert", payload=i)
+        assert [r.payload for r in reversed(log.records)] == \
+            list(reversed(range(7)))
+
+    def test_tail_matches_last_index(self):
+        _env, _disk, log = make_log(segment_records=3)
+        for i in range(5):
+            log.append(1, "insert", payload=i)
+        assert log.tail is log.records[-1]
+
+
+class TestActiveTxnTracking:
+    def test_oldest_active_redo_lsn(self):
+        _env, _disk, log = make_log()
+        assert log.oldest_active_redo_lsn() is None
+        log.append(7, "insert")                # lsn 1
+        log.append(8, "insert")                # lsn 2
+        assert log.oldest_active_redo_lsn() == 1
+        log.append(7, "commit")
+        assert log.oldest_active_redo_lsn() == 2
+        log.append(8, "abort")
+        assert log.oldest_active_redo_lsn() is None
