@@ -1,0 +1,55 @@
+"""Bench: the open-loop traffic engine driving an elastic diurnal day.
+
+Quick scale runs the CI smoke configuration — a compressed day with
+more than a million logical-user requests, once with the closed-loop
+autoscaler and once against a statically provisioned baseline.  Full
+scale runs the acceptance configuration (a real 86 400 s day, tens of
+millions of requests).  Both gate on the elasticity invariants: the
+request ledger conserves every offered request, the cluster scales out
+before the traffic peak and back in after it, and breathing with the
+trace spends fewer joules than static provisioning.
+"""
+
+import dataclasses
+
+from repro.experiments.elasticity import (
+    full_elasticity_config,
+    quick_elasticity_config,
+    render_elasticity,
+    run_elasticity,
+)
+
+
+def _day(config):
+    return [run_elasticity(dataclasses.replace(config, mode=mode))
+            for mode in ("autoscale", "static")]
+
+
+def test_traffic_day(benchmark, bench_scale):
+    if bench_scale == "full":
+        config = full_elasticity_config()
+    else:
+        config = quick_elasticity_config()
+    results = benchmark.pedantic(
+        _day, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(render_elasticity(results))
+
+    autoscale, static = results
+    for result in results:
+        assert result.ok, result.to_table()
+    assert autoscale.offered >= config.min_requests
+    assert autoscale.peak_active_nodes > config.initially_active
+    assert static.energy_joules > autoscale.energy_joules
+
+    benchmark.extra_info["offered_requests"] = autoscale.offered
+    benchmark.extra_info["completed_requests"] = autoscale.completed
+    benchmark.extra_info["scale_events"] = len(autoscale.events)
+    benchmark.extra_info["peak_active_nodes"] = autoscale.peak_active_nodes
+    benchmark.extra_info["autoscale_joules_per_request"] = round(
+        autoscale.joules_per_request, 4
+    )
+    benchmark.extra_info["energy_saved_fraction"] = round(
+        1.0 - autoscale.energy_joules / static.energy_joules, 4
+    )

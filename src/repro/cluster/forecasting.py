@@ -85,6 +85,10 @@ class LoadForecaster:
         dt = max(sample.time - last_time, 1e-9)
         predicted = level + trend * dt
         new_level = self.alpha * value + (1 - self.alpha) * predicted
+        # Utilisation is a fraction: clamp the smoothed *state*, not
+        # just the prediction, so a burst or step input can never drive
+        # the level out of [0, 1] and poison later extrapolations.
+        new_level = min(max(new_level, 0.0), 1.0)
         observed_trend = (new_level - level) / dt
         new_trend = self.beta * observed_trend + (1 - self.beta) * trend
         self._state[sample.node_id] = (new_level, new_trend, sample.time)

@@ -22,9 +22,11 @@ from repro.experiments.chaos_moves import (
     run_chaos_suite,
 )
 from repro.experiments.endurance import EnduranceConfig, run_endurance
+from repro.experiments.elasticity import ElasticityConfig, run_elasticity
 
 __all__ = [
     "ChaosConfig",
+    "ElasticityConfig",
     "EnduranceConfig",
     "Fig6Config",
     "Fig9Config",
@@ -39,6 +41,7 @@ __all__ = [
     "run_fig9_single",
     "run_chaos",
     "run_chaos_suite",
+    "run_elasticity",
     "run_endurance",
     "run_power_validation",
     "run_scale_in",

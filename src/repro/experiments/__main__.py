@@ -15,6 +15,7 @@ Usage::
     python -m repro.experiments chaos        # extension: mover chaos sweep
     python -m repro.experiments chaos --seeds 0 1 2
     python -m repro.experiments endurance    # extension: audited endurance run
+    python -m repro.experiments elasticity   # extension: diurnal traffic + autoscaler
     python -m repro.experiments all          # everything (long)
 
 ``--quick`` (default) uses reduced parameters; ``--full`` the defaults
@@ -182,6 +183,34 @@ def run_endurance_cmd(args) -> str:
     return out
 
 
+def run_elasticity_cmd(args) -> str:
+    import dataclasses
+
+    from repro.experiments.elasticity import (
+        full_elasticity_config,
+        quick_elasticity_config,
+        render_elasticity,
+        run_elasticity,
+    )
+    from repro.experiments.parallel import run_tasks
+
+    config = quick_elasticity_config() if args.quick \
+        else full_elasticity_config()
+    if args.audit:
+        config = dataclasses.replace(config, audit=True)
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    results = run_tasks(
+        [(run_elasticity, (dataclasses.replace(config, mode=mode),), {})
+         for mode in ("autoscale", "static")],
+        jobs=args.jobs,
+    )
+    out = render_elasticity(results)
+    if any(not result.ok for result in results):
+        raise SystemExit(out)
+    return out
+
+
 COMMANDS = {
     "power": run_power,
     "fig1": run_fig1_cmd,
@@ -194,6 +223,7 @@ COMMANDS = {
     "scale-in": run_scale_in_cmd,
     "chaos": run_chaos_cmd,
     "endurance": run_endurance_cmd,
+    "elasticity": run_elasticity_cmd,
 }
 
 
@@ -213,6 +243,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scheme",
                         choices=["physical", "logical", "physiological"],
                         help="fig6 only: run a single scheme")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="elasticity: override the config seed")
     parser.add_argument("--seeds", type=int, nargs="*", default=None,
                         help="chaos only: explicit schedule seeds "
                              "(default: 0..2 quick, 0..9 full)")

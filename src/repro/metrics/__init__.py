@@ -1,20 +1,25 @@
 """Metrics: cost breakdowns, time series, and report rendering."""
 
 from repro.metrics.breakdown import CostBreakdown
-from repro.metrics.series import TimeSeries, percentile
+from repro.metrics.series import LatencyHistogram, TimeSeries, percentile
 from repro.metrics.report import (
+    render_admission_summary,
     render_kernel_stats,
     render_move_summary,
     render_series_table,
+    render_slo_table,
     render_table,
 )
 
 __all__ = [
     "CostBreakdown",
+    "LatencyHistogram",
     "TimeSeries",
     "percentile",
+    "render_admission_summary",
     "render_kernel_stats",
     "render_move_summary",
     "render_series_table",
+    "render_slo_table",
     "render_table",
 ]

@@ -68,7 +68,59 @@ def render_retry_summary(summary: dict[str, int | float],
         ["retried commits", summary.get("retried_completions", 0)],
         ["retries spent", summary.get("retries_total", 0)],
         ["exhausted (failed)", summary.get("exhausted_failures", 0)],
+        ["abandoned (gave up)", summary.get("abandoned_requests", 0)],
         ["retried fraction", summary.get("retried_fraction", 0.0)],
+    ]
+    return render_table(["metric", "value"], rows, title=title)
+
+
+def render_slo_table(tenants: dict[str, dict[str, float | int]],
+                     title: str = "latency SLOs") -> str:
+    """Render per-tenant latency percentiles and shed accounting.
+
+    ``tenants`` maps tenant name -> a merged dict of the tenant's
+    :meth:`LatencyHistogram.summary` plus the admission counters
+    (``offered`` / ``shed`` / ``rejected`` / ``abandoned``) and an
+    optional ``slo_p99_ms`` target; the p99 column is judged against
+    the target when one is given.
+    """
+    headers = ["tenant", "requests", "p50 ms", "p99 ms", "p999 ms",
+               "mean ms", "shed %", "rejected %", "abandoned", "p99 SLO"]
+    rows = []
+    for name in sorted(tenants):
+        t = tenants[name]
+        offered = t.get("offered", t.get("count", 0)) or 0
+        shed_pct = 100.0 * t.get("shed", 0) / offered if offered else 0.0
+        rejected_pct = (100.0 * t.get("rejected", 0) / offered
+                        if offered else 0.0)
+        target = t.get("slo_p99_ms")
+        if target is None:
+            verdict = "-"
+        else:
+            verdict = ("met" if t.get("p99", 0.0) <= target
+                       else f"MISS>{_fmt(target)}")
+        rows.append([
+            name, offered, t.get("p50", 0.0), t.get("p99", 0.0),
+            t.get("p999", 0.0), t.get("mean", 0.0), shed_pct,
+            rejected_pct, t.get("abandoned", 0), verdict,
+        ])
+    return render_table(headers, rows, title=title)
+
+
+def render_admission_summary(stats: dict[str, int | float],
+                             title: str = "admission control") -> str:
+    """Render an :class:`~repro.traffic.admission.AdmissionController`'s
+    :meth:`stats` — every offered logical request is accounted exactly
+    once as admitted, rate-limit rejected, or queue-full shed."""
+    rows = [
+        ["requests offered", stats.get("offered", 0)],
+        ["requests admitted", stats.get("admitted", 0)],
+        ["rejected (rate limit)", stats.get("rejected", 0)],
+        ["shed (queue full)", stats.get("shed", 0)],
+        ["completed", stats.get("completed", 0)],
+        ["abandoned (retry cap)", stats.get("abandoned", 0)],
+        ["peak queue depth", stats.get("peak_queue_depth", 0)],
+        ["peak queue wait s", stats.get("peak_queue_wait", 0.0)],
     ]
     return render_table(["metric", "value"], rows, title=title)
 

@@ -33,6 +33,135 @@ def percentile(values: typing.Sequence[float], q: float) -> float:
     return min(max(interpolated, ordered[low]), ordered[high])
 
 
+class LatencyHistogram:
+    """Streaming log-bucketed latency histogram with tail percentiles.
+
+    The traffic engine records one latency observation per *logical*
+    request — millions of them per simulated day — so the histogram
+    must be O(1) per record and O(buckets) in memory, never O(n).
+    Bucket boundaries grow geometrically (``growth`` per bucket, default
+    ~9% resolution), which keeps the relative error of any reported
+    percentile below one bucket width across the whole range.
+
+    ``record`` takes an optional integer ``count`` so one executed
+    cohort can stand for many logical requests; percentiles are then
+    computed over the weighted population.
+    """
+
+    def __init__(self, name: str = "", low: float = 1e-2,
+                 high: float = 1e6, growth: float = 2 ** 0.125):
+        if not 0 < low < high:
+            raise ValueError("need 0 < low < high")
+        if growth <= 1:
+            raise ValueError("bucket growth factor must exceed 1")
+        self.name = name
+        self.low = low
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        # bucket i spans [low * growth**i, low * growth**(i+1)); one
+        # underflow bucket below `low`, one overflow bucket above `high`.
+        self._bucket_count = int(
+            math.ceil(math.log(high / low) / self._log_growth)
+        )
+        self._counts = [0] * (self._bucket_count + 2)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+        self.min_value = math.inf
+
+    def _bucket(self, value: float) -> int:
+        if value < self.low:
+            return 0
+        index = int(math.log(value / self.low) / self._log_growth) + 1
+        return min(index, self._bucket_count + 1)
+
+    def _bucket_bounds(self, index: int) -> tuple[float, float]:
+        if index == 0:
+            return (0.0, self.low)
+        lo = self.low * self.growth ** (index - 1)
+        return (lo, lo * self.growth)
+
+    def record(self, value: float, count: int = 1) -> None:
+        if count < 1:
+            raise ValueError("count must be a positive integer")
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        self._counts[self._bucket(value)] += count
+        self.count += count
+        self.total += value * count
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same geometry) into this one."""
+        if (other.low != self.low or other.growth != self.growth
+                or other._bucket_count != self._bucket_count):
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other._counts):
+            self._counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.max_value = max(self.max_value, other.max_value)
+        self.min_value = min(self.min_value, other.min_value)
+
+    def mean(self) -> float:
+        if not self.count:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100), interpolated inside its bucket
+        and clamped to the observed extremes."""
+        if not self.count:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        rank = (q / 100) * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= rank:
+                if index > self._bucket_count:
+                    # Overflow bucket: its nominal upper bound is
+                    # meaningless, so report the observed maximum.
+                    return self.max_value
+                lo, hi = self._bucket_bounds(index)
+                frac = (rank - seen) / bucket_count
+                value = lo + (hi - lo) * frac
+                return min(max(value, self.min_value), self.max_value)
+            seen += bucket_count
+        return self.max_value
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    def summary(self) -> dict[str, float | int]:
+        """The SLO row the traffic reports print."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0,
+                    "p999": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max_value,
+        }
+
+
 class TimeSeries:
     """Raw ``(time, value)`` observations with bucketed aggregation."""
 
@@ -72,6 +201,23 @@ class TimeSeries:
             values = self.between(start, start + width)
             mean = sum(values) / len(values) if values else None
             out.append((start, mean))
+            start += width
+        return out
+
+    def bucket_sum(self, t0: float, t1: float,
+                   width: float) -> list[tuple[float, float]]:
+        """Sum of values per ``width``-second bucket over ``[t0, t1)``.
+
+        Used for weighted event counts (e.g. one point per executed
+        cohort whose value is the cohort's logical request count);
+        empty buckets report 0.
+        """
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        out: list[tuple[float, float]] = []
+        start = t0
+        while start < t1:
+            out.append((start, sum(self.between(start, start + width))))
             start += width
         return out
 

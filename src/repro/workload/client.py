@@ -25,6 +25,13 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 #: A query is abandoned after this many conflict-retries.
 MAX_RETRIES = 8
 
+#: ... or once its retries have burned this much total time, whichever
+#: comes first.  Under sustained overload, attempts themselves get slow
+#: (lock waits, failover timeouts), and a per-attempt cap alone lets a
+#: query camp on the cluster for minutes — the time cap turns that
+#: invisible queueing into an explicit, counted "abandoned" outcome.
+RETRY_BUDGET_SECONDS = 30.0
+
 #: First retry waits this long; each further retry doubles it ...
 BACKOFF_BASE_SECONDS = 0.01
 #: ... up to this cap (long enough to ride out a failover window
@@ -48,16 +55,21 @@ class OltpClient:
 
     def __init__(self, client_id: int, ctx: TpccContext,
                  driver: "WorkloadDriver", interval: float,
-                 mix: list[tuple[str, float]] | None = None):
+                 mix: list[tuple[str, float]] | None = None,
+                 retry_budget: float = RETRY_BUDGET_SECONDS):
         if interval <= 0:
             raise ValueError("client interval must be positive")
+        if retry_budget <= 0:
+            raise ValueError("retry budget must be positive")
         self.client_id = client_id
         self.ctx = ctx
         self.driver = driver
         self.interval = interval
         self.mix = mix or DEFAULT_MIX
+        self.retry_budget = retry_budget
         self.queries_done = 0
         self.queries_failed = 0
+        self.queries_abandoned = 0
         self.retries = 0
 
     def _pick(self) -> str:
@@ -90,6 +102,15 @@ class OltpClient:
         body = TRANSACTIONS[name]
         start = env.now
         for attempt in range(MAX_RETRIES):
+            if attempt and env.now - start > self.retry_budget:
+                # Give up early: the retries have already burned the
+                # whole budget.  Distinct from exhausting MAX_RETRIES —
+                # this is shed load under overload, and the report
+                # counts it separately.
+                self.queries_abandoned += 1
+                self.driver.note_abandoned(name, start, env.now,
+                                           attempts=attempt)
+                return
             txn = cluster.txns.begin()
             breakdown = CostBreakdown()
             try:

@@ -47,7 +47,8 @@ class WorkloadDriver:
                  clients: int, client_interval: float,
                  mix: list[tuple[str, float]] | None = None,
                  power_sample_interval: float = 5.0,
-                 audit=None):
+                 audit=None,
+                 retry_budget: float | None = None):
         if clients < 1:
             raise ValueError("need at least one client")
         self.cluster = cluster
@@ -65,8 +66,11 @@ class WorkloadDriver:
             self.history = audit if isinstance(audit, HistoryRecorder) \
                 else HistoryRecorder()
             self.history.attach(cluster)
+        from repro.workload.client import RETRY_BUDGET_SECONDS
+
         self.clients = [
-            OltpClient(i, ctx, self, client_interval, mix)
+            OltpClient(i, ctx, self, client_interval, mix,
+                       retry_budget=retry_budget or RETRY_BUDGET_SECONDS)
             for i in range(clients)
         ]
         self.power_sample_interval = power_sample_interval
@@ -75,6 +79,9 @@ class WorkloadDriver:
         self.response_times = TimeSeries("response_ms")
         self.power = TimeSeries("watts")
         self.failures = TimeSeries("failures")
+        #: Queries that gave up inside their total-retry-time budget —
+        #: shed load made visible, distinct from MAX_RETRIES exhaustion.
+        self.abandoned = TimeSeries("abandoned")
         self.conflicts = 0
         self.breakdown_samples: list[tuple[float, CostBreakdown]] = []
         self.results_by_kind: dict[str, int] = {}
@@ -110,6 +117,13 @@ class WorkloadDriver:
     def note_failure(self, kind: str, start: float, end: float,
                      attempts: int = 1) -> None:
         self.failures.record(end, 1.0)
+        self.retries_total += max(attempts - 1, 0)
+
+    def note_abandoned(self, kind: str, start: float, end: float,
+                       attempts: int = 1) -> None:
+        """The client hit its total-retry-time cap and gave up;
+        ``attempts`` is how many attempts it had made by then."""
+        self.abandoned.record(end, 1.0)
         self.retries_total += max(attempts - 1, 0)
 
     def note_conflict(self, kind: str) -> None:
@@ -163,6 +177,10 @@ class WorkloadDriver:
     def total_failed(self) -> int:
         return len(self.failures)
 
+    @property
+    def total_abandoned(self) -> int:
+        return len(self.abandoned)
+
     def qps_series(self, t0: float, t1: float, width: float):
         return self.completions.bucket_rate(t0, t1, width)
 
@@ -193,6 +211,7 @@ class WorkloadDriver:
             "retried_completions": self.retried_completions,
             "retries_total": self.retries_total,
             "exhausted_failures": self.total_failed,
+            "abandoned_requests": self.total_abandoned,
             "retried_fraction": (
                 self.retried_completions / completed if completed else 0.0
             ),

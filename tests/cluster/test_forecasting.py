@@ -1,6 +1,7 @@
 """Tests for load forecasting and the proactive policy."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.cluster import PolicyThresholds, ThresholdPolicy
 from repro.cluster.forecasting import (
@@ -82,6 +83,62 @@ class TestLoadForecaster:
         f.observe(sample(node_id=0, cpu=0.9, time=0))
         f.observe(sample(node_id=1, cpu=0.1, time=0))
         assert f.predict(0) > f.predict(1)
+
+
+utilizations = st.floats(min_value=0.0, max_value=1.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+class TestForecasterProperties:
+    """Utilisation is a fraction: no input trace may ever drive the
+    smoothed state (or any prediction) out of [0, 1]."""
+
+    @given(trace=st.lists(utilizations, min_size=2, max_size=60),
+           alpha=st.floats(min_value=0.05, max_value=1.0),
+           beta=st.floats(min_value=0.05, max_value=1.0))
+    def test_bursty_trace_stays_in_unit_interval(self, trace, alpha, beta):
+        f = LoadForecaster(alpha=alpha, beta=beta, horizon=300.0)
+        for i, cpu in enumerate(trace):
+            f.observe(sample(cpu=cpu, time=5.0 * i))
+            level, _trend, _t = f._state[0]
+            assert 0.0 <= level <= 1.0
+            predicted = f.predict(0)
+            assert 0.0 <= predicted <= 1.0
+
+    @given(low=utilizations, high=utilizations,
+           step_at=st.integers(min_value=1, max_value=19),
+           horizon=st.floats(min_value=1.0, max_value=10_000.0))
+    def test_step_trace_stays_in_unit_interval(self, low, high, step_at,
+                                               horizon):
+        """A step input (the worst case for trend extrapolation: the
+        trend right after the edge points far past the plateau) must
+        still predict inside [0, 1] at any horizon."""
+        f = LoadForecaster(alpha=0.9, beta=0.9, horizon=horizon)
+        for i in range(20):
+            cpu = low if i < step_at else high
+            f.observe(sample(cpu=cpu, time=5.0 * i))
+            level, _trend, _t = f._state[0]
+            assert 0.0 <= level <= 1.0
+            assert 0.0 <= f.predict(0) <= 1.0
+
+    @given(start=st.floats(min_value=0.0, max_value=1_000.0),
+           length=st.floats(min_value=1e-3, max_value=1_000.0),
+           hinted=utilizations.filter(lambda u: u >= 0.5))
+    def test_hint_window_boundaries(self, start, length, hinted):
+        """A hint covers [start, end): the forecast at a target exactly
+        on ``start`` honours the hint, a target exactly on ``end`` does
+        not (it falls back to the smoothed level)."""
+        end = start + length
+        f = LoadForecaster(horizon=30.0)
+        f.observe(sample(cpu=0.1, time=0.0))
+        f.observe(sample(cpu=0.1, time=5.0))
+        f.add_hint(WorkloadHint(start=start, end=end,
+                                expected_utilization=hinted))
+        # horizon=0 keeps the target time float-exact on the boundary.
+        at_start = f.predict(0, now=start, horizon=0.0)
+        assert at_start == pytest.approx(hinted)
+        at_end = f.predict(0, now=end, horizon=0.0)
+        assert at_end == pytest.approx(0.1, abs=0.05)
 
 
 class TestForecastingPolicy:

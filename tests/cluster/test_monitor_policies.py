@@ -59,6 +59,23 @@ class TestThresholdPolicy:
         decision = policy.observe([make_sample(disk=0.95)])
         assert decision.wants_scale_out
 
+    def test_alternating_load_never_flaps(self):
+        """The debounce contract: a load oscillating between over- and
+        under-threshold every sample (the classic flapping input) must
+        produce *zero* decisions with consecutive_samples=2 — neither
+        streak ever reaches two."""
+        policy = ThresholdPolicy(PolicyThresholds(consecutive_samples=2))
+        decisions = []
+        for i in range(100):
+            if i % 2 == 0:
+                s = make_sample(cpu=0.95, disk=0.95, time=float(i))
+            else:
+                s = make_sample(cpu=0.02, disk=0.02, time=float(i))
+            decisions.append(policy.observe([s]))
+        assert not any(d.wants_scale_out for d in decisions)
+        assert not any(d.wants_scale_in for d in decisions)
+        assert not any(d.wants_space_relief for d in decisions)
+
     def test_reset_clears_streaks(self):
         policy = ThresholdPolicy(PolicyThresholds(consecutive_samples=2))
         policy.observe([make_sample(cpu=0.95)])

@@ -1,0 +1,84 @@
+"""Elasticity experiment smoke: a compressed audited day must breathe
+with the trace, conserve every offered request, and replay
+bit-identically."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.elasticity import (
+    ElasticityConfig,
+    render_elasticity,
+    run_elasticity,
+)
+
+SMOKE = ElasticityConfig(
+    day_seconds=240.0,
+    min_requests=60_000,
+    flash_ramp=20.0, flash_hold=40.0, flash_decay=30.0,
+    hint_lead=40.0,
+    autoscale_interval=5.0,
+    cooldown_intervals=4,
+    power_sample_interval=5.0,
+    report_buckets=6,
+    audit=True,
+)
+
+
+@pytest.fixture(scope="module")
+def autoscale_result():
+    return run_elasticity(SMOKE)
+
+
+def test_autoscale_day_is_clean(autoscale_result):
+    r = autoscale_result
+    assert r.violations == []
+    assert r.anomalies == []
+    assert r.offered >= SMOKE.min_requests
+    assert r.audited
+
+
+def test_cluster_breathes_with_the_trace(autoscale_result):
+    r = autoscale_result
+    outs = [row for row in r.events if row[1] == "scale-out"]
+    ins = [row for row in r.events if row[1] == "scale-in"]
+    assert outs and ins
+    assert outs[0][0] < r.peak_time      # recruited before the peak
+    assert ins[-1][0] > r.peak_time      # released after it
+    assert r.peak_active_nodes > SMOKE.initially_active
+
+
+def test_admission_conservation(autoscale_result):
+    stats = autoscale_result.admission
+    assert stats["offered"] == (stats["admitted"] + stats["rejected"]
+                                + stats["shed"])
+    assert stats["admitted"] == stats["completed"] + stats["abandoned"]
+    # The batch tenant's contract is below its offered rate.
+    assert stats["rejected"] > 0
+
+
+def test_replay_is_bit_identical(autoscale_result):
+    again = run_elasticity(SMOKE)
+    assert again.admission == autoscale_result.admission
+    assert again.timeline == autoscale_result.timeline
+    assert again.events == autoscale_result.events
+    assert again.tenants == autoscale_result.tenants
+    assert again.energy_joules == autoscale_result.energy_joules
+    assert again.wall_events == autoscale_result.wall_events
+
+
+def test_static_baseline_uses_more_energy(autoscale_result):
+    static = run_elasticity(dataclasses.replace(SMOKE, mode="static"))
+    assert static.violations == []
+    assert static.events == []
+    assert static.final_active_nodes == SMOKE.node_count
+    # Full provisioning burns more joules for the same day of demand.
+    assert static.energy_joules > autoscale_result.energy_joules
+    out = render_elasticity([autoscale_result, static])
+    assert "saved by breathing with the trace" in out
+    assert "per-tenant latency SLOs" in out
+
+
+def test_seed_changes_the_run(autoscale_result):
+    other = run_elasticity(SMOKE, seed=1)
+    assert other.admission != autoscale_result.admission

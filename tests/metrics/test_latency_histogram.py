@@ -1,0 +1,102 @@
+"""The streaming log-bucketed latency histogram: percentile accuracy
+within bucket resolution, weighted recording, merge, and bucket sums."""
+
+import random
+
+import pytest
+
+from repro.metrics import LatencyHistogram
+from repro.metrics.series import TimeSeries, percentile
+
+
+class TestLatencyHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(low=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(low=10.0, high=1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+        with pytest.raises(ValueError):
+            h.record(1.0, count=0)
+        with pytest.raises(ValueError):
+            h.percentile(50)  # empty
+
+    def test_percentiles_within_bucket_resolution(self):
+        """Against the exact (sorted) percentile, the histogram's error
+        must stay below one bucket's relative width."""
+        rng = random.Random(7)
+        h = LatencyHistogram(growth=2 ** 0.125)
+        values = [rng.lognormvariate(3.0, 1.5) for _ in range(20_000)]
+        for v in values:
+            h.record(v)
+        for q in (50.0, 90.0, 99.0, 99.9):
+            exact = percentile(values, q)
+            approx = h.percentile(q)
+            assert approx == pytest.approx(exact, rel=2 ** 0.125 - 1 + 0.02)
+
+    def test_weighted_record_equals_repeated_record(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        for v in (1.0, 5.0, 25.0):
+            a.record(v, count=100)
+            for _ in range(100):
+                b.record(v)
+        assert a.count == b.count == 300
+        for q in (10.0, 50.0, 99.0):
+            assert a.percentile(q) == b.percentile(q)
+        assert a.mean() == pytest.approx(b.mean())
+
+    def test_percentile_clamped_to_observed_extremes(self):
+        h = LatencyHistogram()
+        h.record(3.0)
+        assert h.percentile(0) == 3.0
+        assert h.percentile(100) == 3.0
+        assert h.p50 == 3.0
+
+    def test_under_and_overflow_buckets(self):
+        h = LatencyHistogram(low=1.0, high=100.0)
+        h.record(0.001)       # below low
+        h.record(1e9)         # above high
+        assert h.count == 2
+        assert h.percentile(1) <= 1.0
+        assert h.p999 == pytest.approx(1e9)
+
+    def test_merge(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        for i in range(100):
+            a.record(float(i + 1))
+            b.record(float(i + 101))
+        a.merge(b)
+        assert a.count == 200
+        assert a.max_value == 200.0
+        assert a.p50 == pytest.approx(100.0, rel=0.1)
+        with pytest.raises(ValueError):
+            a.merge(LatencyHistogram(growth=2.0))
+
+    def test_summary_empty_and_filled(self):
+        h = LatencyHistogram(name="t")
+        assert h.summary()["count"] == 0
+        h.record(10.0, count=5)
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["mean"] == pytest.approx(10.0)
+        assert s["max"] == 10.0
+
+
+class TestBucketSum:
+    def test_sums_weighted_points_per_bucket(self):
+        ts = TimeSeries("completions")
+        ts.record(0.5, 10.0)
+        ts.record(0.9, 5.0)
+        ts.record(1.5, 100.0)
+        out = ts.bucket_sum(0.0, 3.0, 1.0)
+        assert out == [(0.0, 15.0), (1.0, 100.0), (2.0, 0.0)]
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries().bucket_sum(0.0, 1.0, 0.0)

@@ -1,0 +1,161 @@
+"""The closed-loop autoscaler: signals, actions, and the drain guard."""
+
+import pytest
+
+from repro import Cluster, Environment
+from repro.cluster import PolicyThresholds, ThresholdPolicy
+from repro.cluster.forecasting import LoadForecaster, WorkloadHint
+from repro.cluster.monitor import NodeSample
+from repro.core import PhysiologicalPartitioning, Rebalancer
+from repro.traffic import (
+    AdmissionController,
+    Autoscaler,
+    AutoscalerConfig,
+    Request,
+)
+from repro.workload import load_tpcc
+from repro.workload.tpcc_schema import WAREHOUSE_PARTITIONED, TpccConfig
+
+TPCC = TpccConfig(
+    warehouses=4, districts_per_warehouse=2, customers_per_district=10,
+    items=50, orders_per_district=5, order_lines_per_order=3,
+)
+
+
+def make_sample(node_id=0, cpu=0.0, time=0.0):
+    return NodeSample(
+        time=time, node_id=node_id, cpu_utilization=cpu,
+        disk_utilization=0.0, iops=0.0, net_bytes=0,
+        buffer_hit_ratio=1.0, partition_stats=[],
+    )
+
+
+def build(initially_active=1, queue_limit=10_000):
+    env = Environment()
+    cluster = Cluster(env, node_count=3,
+                      initially_active=initially_active,
+                      buffer_pages_per_node=256, boot_seconds=1.0)
+    load_tpcc(cluster, TPCC, owners=[cluster.workers[0]])
+    admission = AdmissionController(env, queue_limit=queue_limit)
+    rebalancer = Rebalancer(cluster, PhysiologicalPartitioning())
+    autoscaler = Autoscaler(
+        cluster, rebalancer, list(WAREHOUSE_PARTITIONED),
+        admission=admission,
+        config=AutoscalerConfig(interval=1.0, cooldown_intervals=2,
+                                queue_pressure_per_node=100),
+    )
+    return env, cluster, admission, autoscaler
+
+
+class TestSignals:
+    def test_queue_pressure_on_backlog(self):
+        env, cluster, admission, scaler = build()
+        assert scaler._queue_pressure() is None
+        admission.offer(Request("web", 0.0, count=150))
+        reason = scaler._queue_pressure()
+        assert reason is not None and "backlog" in reason
+
+    def test_queue_pressure_on_shedding(self):
+        env, cluster, admission, scaler = build(queue_limit=10)
+        admission.offer(Request("web", 0.0, count=10))
+        admission.offer(Request("web", 0.0, count=5))   # shed
+        reason = scaler._queue_pressure()
+        assert reason is not None and "shed" in reason
+        # The delta resets: no new shedding, no new pressure (the
+        # backlog alone is under the bound).
+        assert scaler._queue_pressure() is None
+
+    def test_drain_guard(self):
+        env, cluster, admission, scaler = build()
+        assert scaler._drained()
+        admission.offer(Request("web", 0.0, count=1))
+        assert not scaler._drained()
+
+    def test_forecast_cold_needs_every_node_cold(self):
+        env, cluster, admission, scaler = build()
+        f = scaler.forecaster
+        for t in (0.0, 5.0):
+            f.observe(make_sample(node_id=0, cpu=0.02, time=t))
+            f.observe(make_sample(node_id=1, cpu=0.9, time=t))
+        samples = [make_sample(node_id=0, cpu=0.02, time=5.0),
+                   make_sample(node_id=1, cpu=0.9, time=5.0)]
+        assert not scaler._forecast_cold(samples)
+        assert scaler._forecast_cold(samples[:1])
+
+    def test_hint_reaches_forecaster(self):
+        env, cluster, admission, scaler = build()
+        scaler.hint(WorkloadHint(start=10.0, end=20.0,
+                                 expected_utilization=0.9))
+        f = scaler.forecaster
+        f.observe(make_sample(cpu=0.1, time=0.0))
+        f.observe(make_sample(cpu=0.1, time=5.0))
+        assert f.predict(0, now=12.0, horizon=0.0) == pytest.approx(0.9)
+
+
+class TestActions:
+    def test_scale_out_powers_on_standby_and_moves_data(self):
+        env, cluster, admission, scaler = build(initially_active=1)
+        assert cluster.active_node_count == 1
+        env.run(until=env.process(scaler._scale_out(0, "test pressure")))
+        assert cluster.active_node_count == 2
+        assert len(scaler.events) == 1
+        event = scaler.events[0]
+        assert event.action == "scale-out"
+        assert event.reason == "test pressure"
+        newcomer = cluster.worker(event.node_id)
+        assert newcomer.disk_space.segment_count() > 0
+
+    def test_scale_out_without_standby_is_a_noop(self):
+        env, cluster, admission, scaler = build(initially_active=3)
+        env.run(until=env.process(scaler._scale_out(0, "x")))
+        assert scaler.events == []
+
+    def test_scale_in_consolidates_and_powers_off(self):
+        env, cluster, admission, scaler = build(initially_active=1)
+        env.run(until=env.process(scaler._scale_out(0, "grow")))
+        victim = scaler.events[0].node_id
+        env.run(until=env.process(scaler._scale_in([victim])))
+        assert cluster.active_node_count == 1
+        assert not cluster.worker(victim).is_active
+        assert scaler.events[-1].action == "scale-in"
+
+    def test_scale_in_never_targets_master(self):
+        env, cluster, admission, scaler = build(initially_active=2)
+        env.run(until=env.process(
+            scaler._scale_in([cluster.master.node_id])))
+        assert all(e.action != "scale-in" for e in scaler.events)
+        assert cluster.active_node_count == 2
+
+    def test_scale_in_respects_min_active_floor(self):
+        env, cluster, admission, scaler = build(initially_active=1)
+        scaler.config.min_active_nodes = 1
+        env.run(until=env.process(scaler._scale_in([0])))
+        assert cluster.active_node_count == 1
+
+
+class TestLoop:
+    def test_loop_scales_out_under_sustained_queue_pressure(self):
+        """Even with idle CPUs, a standing admission backlog must
+        recruit a node — open-loop overload shows up in the queue
+        before it shows up in utilisation."""
+        env, cluster, admission, scaler = build(initially_active=1)
+        admission.offer(Request("web", 0.0, count=5_000))
+        env.process(scaler.run(until=30.0), name="autoscaler")
+        env.run(until=30.0)
+        scaler.stop()
+        assert cluster.active_node_count >= 2
+        assert any(e.action == "scale-out" for e in scaler.events)
+
+    def test_loop_respects_cooldown(self):
+        env, cluster, admission, scaler = build(initially_active=1)
+        # Permanent pressure: both standbys get recruited, but the
+        # second action must wait out the cooldown rounds.
+        admission.offer(Request("web", 0.0, count=10_000))
+        env.process(scaler.run(until=60.0), name="autoscaler")
+        env.run(until=60.0)
+        scaler.stop()
+        outs = [e for e in scaler.events if e.action == "scale-out"]
+        assert len(outs) == 2     # only two standby nodes exist
+        gap = outs[1].time - outs[0].time
+        assert gap >= (scaler.config.cooldown_intervals
+                       * scaler.config.interval)

@@ -26,13 +26,14 @@ def test_backoff_is_exponential_and_capped():
     assert delays == sorted(delays)
 
 
-def make_driver():
+def make_driver(retry_budget=None):
     env = Environment()
     cluster = Cluster(env, node_count=2, initially_active=2,
                       buffer_pages_per_node=64)
     ctx = TpccContext(cluster, TpccConfig(warehouses=1))
     return env, cluster, WorkloadDriver(cluster, ctx, clients=1,
-                                        client_interval=1.0)
+                                        client_interval=1.0,
+                                        retry_budget=retry_budget)
 
 
 def test_driver_separates_first_try_from_retried():
@@ -76,8 +77,8 @@ class _Flaky:
         yield  # pragma: no cover - makes this a generator function
 
 
-def run_flaky_client(failures):
-    env, cluster, driver = make_driver()
+def run_flaky_client(failures, retry_budget=None):
+    env, cluster, driver = make_driver(retry_budget)
     flaky = _Flaky(failures)
     client = driver.clients[0]
     client.mix = [("flaky", 1.0)]
@@ -112,3 +113,32 @@ def test_client_exhausts_retries_cleanly():
     summary = driver.retry_summary()
     assert summary["exhausted_failures"] == 1
     assert summary["retried_fraction"] == 0.0
+    # The default budget (30 s) is far above what a handful of 10 ms
+    # backoffs can burn: nothing was abandoned on this path.
+    assert client.queries_abandoned == 0
+    assert summary["abandoned_requests"] == 0
+
+
+def test_client_abandons_when_retry_budget_burned():
+    """A tiny total-retry-time budget turns the same conflict storm
+    into an *abandoned* query (gave up early) instead of an exhausted
+    one — counted separately from MAX_RETRIES exhaustion."""
+    env, driver, client = run_flaky_client(failures=MAX_RETRIES + 5,
+                                           retry_budget=0.005)
+    assert client.queries_abandoned == 1
+    assert client.queries_failed == 0
+    assert client.queries_done == 0
+    assert driver.total_abandoned == 1
+    assert driver.total_failed == 0
+    summary = driver.retry_summary()
+    assert summary["abandoned_requests"] == 1
+    assert summary["exhausted_failures"] == 0
+    table = render_retry_summary(summary)
+    assert "abandoned (gave up)" in table
+
+
+def test_retry_budget_validation():
+    env, cluster, driver = make_driver()
+    ctx = driver.ctx
+    with pytest.raises(ValueError):
+        OltpClient(0, ctx, driver, interval=1.0, retry_budget=0.0)
