@@ -29,6 +29,8 @@ from repro.metrics.breakdown import CostBreakdown
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource, Store
 from repro.storage.buffer import BufferPool
+from repro.storage.checksum import checksum_of, verify
+from repro.storage.record import Column, RecordVersion, Schema
 
 
 # -- scenario bodies --------------------------------------------------------
@@ -233,6 +235,35 @@ def kernel_mix() -> tuple:
     return env.now, pool.hits, pool.misses, done["store"]
 
 
+def checksum_codec(rows: int = 20_000):
+    """CRC32 stamp + verify over representative row payloads — the
+    per-access overhead the integrity layer adds to every page read,
+    WAL append, and replica ship."""
+    schema = Schema(
+        [Column("id"), Column("a", "str", width=24),
+         Column("b", "str", width=24), Column("n")],
+        key=("id",),
+    )
+    versions = []
+    for i in range(rows):
+        version = RecordVersion.make(
+            schema, (i, f"payload-{i:08d}", f"filler-{i % 97:08d}", i * 7),
+            created_by=1,
+        )
+        versions.append(version)
+    checked = 0
+    for version in versions:
+        version.clean = False          # force a real verification
+        version.verify(where="bench")
+        checked += 1
+    total = 0
+    for version in versions:
+        payload = ("t", version.key, version.values)
+        total ^= checksum_of(payload)
+        verify(payload, checksum_of(payload), where="bench")
+    return checked, total
+
+
 # -- benches ---------------------------------------------------------------
 
 def _bench(benchmark, fn, *args):
@@ -275,6 +306,12 @@ def test_kernel_buffer_pool_traffic(benchmark):
     assert hits + misses == 24 * 200
     assert misses > 0 and evictions > 0
     assert end > 0
+
+
+def test_kernel_checksum_codec(benchmark):
+    checked, total = _bench(benchmark, checksum_codec)
+    assert checked == 20_000
+    assert isinstance(total, int)
 
 
 def test_kernel_mix(benchmark):

@@ -1,0 +1,62 @@
+"""Bench: the gray-failure torture run — TPC-C under bit rot, torn
+writes, a limping disk, and a flaky link.
+
+Quick scale runs the CI smoke configuration over three seeds; full
+scale runs the long acceptance mix on one seed.  Both gate on the
+torture invariants: zero acked-commit loss, every injected corruption
+repaired or fenced (never silently read), the gray-failure detector
+flagging the limping node no later than the SLO breach, and a
+bit-identical rerun fingerprint per seed.
+"""
+
+from repro.experiments.torture import (
+    full_torture_config,
+    quick_torture_config,
+    render_torture,
+    run_torture,
+)
+
+
+def _sweep(config, seeds):
+    return [run_torture(config, seed=seed) for seed in seeds]
+
+
+def test_torture(benchmark, bench_scale):
+    if bench_scale == "full":
+        config, seeds = full_torture_config(), (0,)
+    else:
+        config, seeds = quick_torture_config(), (0, 1, 2)
+    results = benchmark.pedantic(
+        _sweep, args=(config, seeds), rounds=1, iterations=1
+    )
+    print()
+    print(render_torture(results))
+
+    for result in results:
+        assert result.ok, render_torture([result])
+        assert result.lost_commits == 0
+        assert result.unresolved == []
+        assert result.torn_txns_committed == 0
+        assert result.detection_ok
+        assert result.corruptions_injected >= 1
+
+    benchmark.extra_info["seeds"] = len(seeds)
+    benchmark.extra_info["commits"] = sum(
+        r.committed_orders for r in results
+    )
+    benchmark.extra_info["corruptions_injected"] = sum(
+        r.corruptions_injected for r in results
+    )
+    benchmark.extra_info["repaired"] = sum(
+        r.scrub_stats.get("repaired", 0) for r in results
+    )
+    benchmark.extra_info["fenced"] = sum(
+        r.scrub_stats.get("fenced", 0) + r.fenced_partitions
+        for r in results
+    )
+    benchmark.extra_info["quarantines"] = sum(
+        r.gray_quarantines for r in results
+    )
+    benchmark.extra_info["promotions"] = sum(
+        r.promotions for r in results
+    )

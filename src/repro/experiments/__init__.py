@@ -23,6 +23,7 @@ from repro.experiments.chaos_moves import (
 )
 from repro.experiments.endurance import EnduranceConfig, run_endurance
 from repro.experiments.elasticity import ElasticityConfig, run_elasticity
+from repro.experiments.torture import TortureConfig, run_torture
 
 __all__ = [
     "ChaosConfig",
@@ -45,5 +46,7 @@ __all__ = [
     "run_endurance",
     "run_power_validation",
     "run_scale_in",
+    "run_torture",
     "ScaleInConfig",
+    "TortureConfig",
 ]

@@ -16,6 +16,7 @@ Usage::
     python -m repro.experiments chaos --seeds 0 1 2
     python -m repro.experiments endurance    # extension: audited endurance run
     python -m repro.experiments elasticity   # extension: diurnal traffic + autoscaler
+    python -m repro.experiments torture      # extension: gray-failure torture run
     python -m repro.experiments all          # everything (long)
 
 ``--quick`` (default) uses reduced parameters; ``--full`` the defaults
@@ -211,6 +212,33 @@ def run_elasticity_cmd(args) -> str:
     return out
 
 
+def run_torture_cmd(args) -> str:
+    import dataclasses
+
+    from repro.experiments.torture import (
+        full_torture_config,
+        quick_torture_config,
+        render_torture,
+        run_torture,
+    )
+
+    config = quick_torture_config() if args.quick else full_torture_config()
+    if args.audit:
+        config = dataclasses.replace(config, audit=True)
+    seeds = args.seeds if args.seeds else [config.seed]
+    results = [run_torture(config, seed=seed) for seed in seeds]
+    # Determinism gate: rerun the first seed and demand a bit-identical
+    # metrics fingerprint.
+    rerun = run_torture(config, seed=seeds[0])
+    deterministic = rerun.fingerprint == results[0].fingerprint
+    out = render_torture(results)
+    out += ("\ndeterminism: seed %d rerun fingerprint %s"
+            % (seeds[0], "MATCHES" if deterministic else "DIVERGES"))
+    if any(not result.ok for result in results) or not deterministic:
+        raise SystemExit(out)
+    return out
+
+
 COMMANDS = {
     "power": run_power,
     "fig1": run_fig1_cmd,
@@ -224,6 +252,7 @@ COMMANDS = {
     "chaos": run_chaos_cmd,
     "endurance": run_endurance_cmd,
     "elasticity": run_elasticity_cmd,
+    "torture": run_torture_cmd,
 }
 
 
@@ -246,8 +275,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="elasticity: override the config seed")
     parser.add_argument("--seeds", type=int, nargs="*", default=None,
-                        help="chaos only: explicit schedule seeds "
-                             "(default: 0..2 quick, 0..9 full)")
+                        help="chaos/endurance/torture: explicit seeds "
+                             "(chaos default: 0..2 quick, 0..9 full)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for sweep experiments "
                              "(fig6/fig9/chaos); 0 = one per CPU")

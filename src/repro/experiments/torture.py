@@ -1,0 +1,573 @@
+"""Torture — TPC-C under a seeded mix of every gray fault at once.
+
+The fail-stop experiments (fig9, chaos) kill nodes cleanly: a crashed
+node stops heartbeating and the staleness detector catches it.  Real
+clusters limp before they die — disks serve I/O 10x slower, NICs drop
+5% of packets, cosmic rays flip bits in cold pages, a power cut tears
+the last WAL flush in half.  None of those miss a heartbeat.  This
+experiment runs a TPC-C mix while the fault injector deals out all of
+them simultaneously and gates on the hardening holding up end to end:
+
+* **zero acked-commit loss** — every acknowledged NewOrder's order row
+  is findable post-run through the global partition table (same oracle
+  as fig9);
+* **no silent corruption** — every injected corruption (the injector
+  keeps a ledger) was *resolved*: repaired back to the original bytes,
+  fenced behind an unavailable partition, marked stale, or discarded
+  as a torn WAL tail.  A corrupt row still readable through the GPT,
+  or a torn transaction that became committed, fails the run;
+* **gray detection beats the SLO** — the latency-outlier detector
+  flags the limping node (``suspect``) no later than the end of the
+  first workload bucket whose p99 breaches the SLO;
+* **determinism** — the same seed reproduces the same fingerprint
+  (committed counts, corruption ledger, detector events), checked by
+  the CLI's rerun and the smoke tests.
+
+With ``audit=True`` the full operation history is recorded and the
+isolation checkers (:mod:`repro.audit`) run post-hoc — a garbled value
+that leaked into a committed read would surface there as an anomaly
+even if every other gate passed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.monitor import GrayFailureDetector
+from repro.ha import (
+    FailoverCoordinator,
+    FailureDetector,
+    FaultInjector,
+    PlacementPolicy,
+    ReplicationManager,
+    ScrubDaemon,
+    ScrubPolicy,
+)
+from repro.metrics.report import (
+    render_gray_summary,
+    render_scrub_summary,
+    render_table,
+)
+from repro.metrics.series import percentile
+from repro.sim.engine import Environment
+from repro.storage.checksum import IntegrityError
+from repro.workload import (
+    TpccConfig,
+    TpccContext,
+    WorkloadDriver,
+    load_tpcc,
+    start_vacuum_daemon,
+)
+
+
+@dataclasses.dataclass
+class TortureConfig:
+    """Gray-failure torture parameters.
+
+    Node roles (all distinct, all non-master): the *limping* node
+    (``data_nodes[-1]``) gets the slow disk, the *flaky* node
+    (``data_nodes[1]``, falling back to the first) gets the lossy NIC,
+    and the *torn* node (``data_nodes[0]``) takes the torn write plus
+    the crash it implies.  Bit rot lands on seeded choices of data
+    nodes at seeded times.
+    """
+
+    tpcc: TpccConfig = dataclasses.field(default_factory=lambda: TpccConfig(
+        warehouses=6, districts_per_warehouse=4,
+        customers_per_district=20, items=200, orders_per_district=10,
+        order_lines_per_order=5,
+    ))
+    clients: int = 8
+    client_interval: float = 0.3
+    cc: str = "mvcc"
+
+    node_count: int = 6
+    data_nodes: tuple[int, ...] = (1, 2, 3)
+    buffer_pages_per_node: int = 1024
+    segment_max_pages: int = 8
+    lock_timeout: float = 2.0
+    rack_width: int = 2
+    #: Replication factor — needs k >= 2 for repair sources.
+    k: int = 2
+
+    # Failure detection (staleness + gray).
+    monitor_interval: float = 1.0
+    miss_threshold: int = 3
+    restore_threshold: int = 2
+    score_threshold: float = 3.0
+    clear_threshold: float = 1.5
+    suspect_strikes: int = 2
+    quarantine_strikes: int = 2
+    clear_polls: int = 4
+
+    # Scrubbing.
+    scrub_interval: float = 5.0
+    scrub_pages_per_tick: int = 256
+
+    # Fault schedule, relative to workload start (after seeding).
+    slow_disk_at: float = 20.0
+    slow_factor: float = 12.0
+    flaky_at: float = 10.0
+    flaky_loss: float = 0.05
+    flaky_extra_delay: float = 0.005
+    flaky_heal_after: float = 25.0
+    torn_at: float = 40.0
+    torn_restart_after: float = 12.0
+    bit_rots: int = 4
+    bit_rot_window: tuple[float, float] = (12.0, 70.0)
+
+    duration: float = 100.0
+    bucket: float = 5.0
+    #: The run's latency SLO: a bucket whose p99 exceeds this counts
+    #: as a breach (observed at the bucket's *end* — percentiles are
+    #: only known once the bucket closes).
+    slo_p99_ms: float = 900.0
+    vacuum_interval: float = 10.0
+    seed: int = 0
+    audit: bool = False
+
+
+@dataclasses.dataclass
+class TortureResult:
+    """One seeded torture run and its gate verdicts."""
+
+    seed: int
+    committed_orders: int
+    lost_commits: int
+    corruptions_injected: int
+    #: Human-readable descriptions of every unresolved corruption
+    #: (empty = the integrity gate passed).
+    unresolved: list[str]
+    torn_txns_committed: int
+    scrub_stats: dict[str, int]
+    gray_stats: dict[str, int]
+    gray_suspects: int
+    gray_quarantines: int
+    gray_drains: int
+    #: Seconds after the slow-disk onset at which the limping node was
+    #: first flagged suspect (None = never flagged).
+    limping_flagged_after: float | None
+    #: Seconds after onset at which a bucket's p99 first breached the
+    #: SLO, observed at bucket end (None = never breached).
+    slo_breached_after: float | None
+    detection_ok: bool
+    p99_ms: float
+    mean_qps: float
+    integrity_errors_surfaced: int
+    promotions: int
+    fenced_partitions: int
+    retry_summary: dict[str, int | float]
+    fingerprint: str
+    anomalies: list[str] = dataclasses.field(default_factory=list)
+    history_stats: dict[str, int] = dataclasses.field(default_factory=dict)
+    audited: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (self.lost_commits == 0
+                and not self.unresolved
+                and self.torn_txns_committed == 0
+                and self.detection_ok
+                and not self.anomalies)
+
+    def to_row(self) -> list:
+        return [
+            self.seed,
+            self.committed_orders,
+            self.lost_commits,
+            self.corruptions_injected,
+            len(self.unresolved),
+            self.scrub_stats.get("repaired", 0),
+            self.scrub_stats.get("fenced", 0) + self.fenced_partitions,
+            self.gray_suspects,
+            self.gray_drains,
+            (None if self.limping_flagged_after is None
+             else round(self.limping_flagged_after, 1)),
+            (None if self.slo_breached_after is None
+             else round(self.slo_breached_after, 1)),
+            round(self.p99_ms, 1),
+            "PASS" if self.ok else "FAIL",
+        ]
+
+
+HEADERS = ["seed", "commits", "lost", "corrupt", "unresolved", "repaired",
+           "fenced", "suspects", "drains", "flag(s)", "breach(s)",
+           "p99 ms", "gate"]
+
+
+def _build_cluster(config: TortureConfig) -> tuple[Environment, Cluster]:
+    env = Environment(seed=config.seed)
+    cluster = Cluster(
+        env, node_count=config.node_count,
+        initially_active=config.node_count,
+        buffer_pages_per_node=config.buffer_pages_per_node,
+        segment_max_pages=config.segment_max_pages,
+        lock_timeout=config.lock_timeout,
+    )
+    cluster.monitor.interval = config.monitor_interval
+    owners = [cluster.worker(n) for n in config.data_nodes]
+    load_tpcc(cluster, config.tpcc, owners=owners,
+              segment_max_pages=config.segment_max_pages)
+    return env, cluster
+
+
+def _schedule_faults(injector: FaultInjector, config: TortureConfig,
+                     t_start: float) -> tuple[int, int, int]:
+    """Install the full gray-fault mix; returns the (limping, flaky,
+    torn) node roles."""
+    limping = config.data_nodes[-1]
+    flaky = config.data_nodes[1] if len(config.data_nodes) > 1 \
+        else config.data_nodes[0]
+    torn = config.data_nodes[0]
+
+    injector.slow_disk_at(t_start + config.slow_disk_at, limping,
+                          factor=config.slow_factor)
+    injector.flaky_link_at(t_start + config.flaky_at, flaky,
+                           loss_probability=config.flaky_loss,
+                           extra_delay=config.flaky_extra_delay)
+    injector.heal_link_at(
+        t_start + config.flaky_at + config.flaky_heal_after, flaky
+    )
+    injector.torn_write_at(t_start + config.torn_at, torn)
+    injector.restart_at(
+        t_start + config.torn_at + config.torn_restart_after, torn
+    )
+    # Bit rot at seeded times on seeded data nodes — derived from the
+    # experiment seed, independent of the simulation RNG, so the
+    # schedule itself is part of the reproducible configuration.
+    rng = random.Random(config.seed * 104729 + 13)
+    lo, hi = config.bit_rot_window
+    for _ in range(config.bit_rots):
+        at = t_start + rng.uniform(lo, min(hi, config.duration - 5.0))
+        node = rng.choice(list(config.data_nodes))
+        injector.bit_rot_at(at, node)
+    return limping, flaky, torn
+
+
+def _lost_commits(cluster: Cluster,
+                  committed: typing.Sequence[tuple[int, int, int]]) -> int:
+    """fig9's durability oracle: acknowledged NewOrders whose order row
+    is missing from wherever the GPT currently points (a fenced
+    partition does NOT excuse a loss — fencing protects integrity, the
+    replica promotion path must still have preserved the commit)."""
+    lost = 0
+    for w, d, o_id in committed:
+        key = (w, d, o_id)
+        try:
+            location = cluster.master.gpt.locate("orders", key)
+        except KeyError:
+            lost += 1
+            continue
+        worker = cluster.worker(location.node_id)
+        partition = worker.partitions.get(location.partition_id)
+        segment = partition.segment_for(key) if partition is not None else None
+        found = False
+        if segment is not None and hasattr(segment, "versions_for"):
+            for _page, _slot, version in segment.versions_for(key):
+                if (version.created_ts is not None
+                        and version.deleted_ts is None):
+                    found = True
+                    break
+        if not found:
+            lost += 1
+    return lost
+
+
+def _torn_txns_committed(cluster: Cluster, injector: FaultInjector) -> int:
+    """How many torn-write transactions (whose commit record was
+    garbled mid-flush) nonetheless show up as committed rows — must be
+    zero: a torn commit was never acknowledged."""
+    torn_ids = {
+        c.txn_id for c in injector.corruptions
+        if c.target == "wal-tail" and c.txn_id is not None
+    }
+    if not torn_ids:
+        return 0
+    hits = 0
+    for worker in cluster.workers:
+        for partition in worker.partitions.values():
+            for segment in partition.segments.values():
+                if not hasattr(segment, "scan_versions"):
+                    continue
+                for _p, _s, version in segment.scan_versions():
+                    if version.created_by in torn_ids \
+                            and version.created_ts is not None:
+                        hits += 1
+    return hits
+
+
+def _unresolved_corruptions(cluster: Cluster,
+                            injector: FaultInjector) -> list[str]:
+    """Cross-check the injector's corruption ledger against the final
+    cluster state: corrupt bytes still *reachable* (through the GPT or
+    a live replica) are integrity failures."""
+    problems: list[str] = []
+    for c in injector.corruptions:
+        if c.target == "page":
+            try:
+                location = cluster.master.gpt.locate(c.table, c.key)
+            except KeyError:
+                continue  # partition gone entirely — unreachable
+            if not location.available:
+                continue  # fenced: readers fail fast, never see garbage
+            worker = cluster.worker(location.node_id)
+            if not worker.is_serving:
+                continue
+            partition = worker.partitions.get(location.partition_id)
+            if partition is None:
+                continue
+            segment = partition.segment_for(c.key)
+            if segment is None or not hasattr(segment, "versions_for"):
+                continue
+            for _p, _s, version in segment.versions_for(c.key):
+                if version.deleted_ts is not None:
+                    continue
+                try:
+                    version.verify(where="torture-check")
+                except IntegrityError:
+                    problems.append(
+                        f"bit_rot@{c.at:.1f}: row {c.table}{c.key!r} still "
+                        f"corrupt and readable on node {location.node_id}"
+                    )
+                    break
+        elif c.target == "replica-log":
+            replica_set = cluster.catalog.replica_set_for(c.partition_id)
+            if replica_set is None:
+                continue
+            for replica in replica_set.replicas:
+                if replica.stale:
+                    continue
+                bad = False
+                for record in replica.log.records:
+                    try:
+                        record.verify(where="torture-check")
+                    except IntegrityError:
+                        bad = True
+                        break
+                if bad:
+                    problems.append(
+                        f"bit_rot@{c.at:.1f}: replica log of partition "
+                        f"{c.partition_id} on node "
+                        f"{replica.holder_node_id} corrupt but not stale"
+                    )
+        elif c.target == "wal-tail":
+            worker = cluster.worker(c.node_id)
+            if not worker.is_serving:
+                continue  # never restarted: nothing can read that WAL
+            for record in worker.wal.records:
+                try:
+                    record.verify(where="torture-check")
+                except IntegrityError:
+                    problems.append(
+                        f"torn_write@{c.at:.1f}: torn record still in "
+                        f"node {c.node_id}'s WAL after restart"
+                    )
+                    break
+    return problems
+
+
+def run_torture(config: TortureConfig | None = None,
+                seed: int | None = None) -> TortureResult:
+    """One seeded torture run."""
+    config = config or TortureConfig()
+    if seed is not None:
+        config = dataclasses.replace(config, seed=seed)
+    env, cluster = _build_cluster(config)
+
+    replication = ReplicationManager(
+        cluster, k=config.k,
+        policy=PlacementPolicy(cluster, rack_width=config.rack_width),
+    )
+    coordinator = FailoverCoordinator(cluster, replication)
+    detector = FailureDetector(
+        cluster, coordinator, miss_threshold=config.miss_threshold,
+        restore_threshold=config.restore_threshold,
+    )
+    gray = GrayFailureDetector(
+        cluster, coordinator,
+        score_threshold=config.score_threshold,
+        clear_threshold=config.clear_threshold,
+        suspect_strikes=config.suspect_strikes,
+        quarantine_strikes=config.quarantine_strikes,
+        clear_polls=config.clear_polls,
+    )
+
+    env.run(until=env.process(replication.protect_all(), name="protect"))
+    t_start = env.now
+    t_end = t_start + config.duration
+
+    injector = FaultInjector(cluster)
+    limping, _flaky, _torn = _schedule_faults(injector, config, t_start)
+
+    scrub = ScrubDaemon(
+        cluster, replication, coordinator,
+        policy=ScrubPolicy(interval=config.scrub_interval,
+                           pages_per_tick=config.scrub_pages_per_tick),
+        until=t_end,
+    )
+
+    ctx = TpccContext(cluster, config.tpcc, cc=config.cc,
+                      rng=random.Random(config.seed * 7919 + 7))
+    driver = WorkloadDriver(
+        cluster, ctx, clients=config.clients,
+        client_interval=config.client_interval,
+        power_sample_interval=config.bucket,
+        audit=config.audit,
+    )
+    committed: list[tuple[int, int, int]] = []
+
+    def remember_commit(kind, _start, _end, _breakdown, result, _attempts):
+        if kind == "new_order" and isinstance(result, dict):
+            committed.append((result["w"], result["d"], result["o_id"]))
+
+    driver.completion_listener = remember_commit
+
+    start_vacuum_daemon(cluster, interval=config.vacuum_interval,
+                        until=t_end)
+    scrub.start()
+    env.process(cluster.monitor.run(), name="monitor")
+    env.process(detector.run(), name="failure-detector")
+    env.process(gray.run(), name="gray-detector")
+    env.process(injector.run(), name="fault-injector")
+    workload = env.process(driver.run(config.duration), name="workload")
+    env.run(until=workload)
+
+    # -- gates -------------------------------------------------------------
+    lost = _lost_commits(cluster, committed)
+    unresolved = _unresolved_corruptions(cluster, injector)
+    torn_committed = _torn_txns_committed(cluster, injector)
+
+    slow_abs = t_start + config.slow_disk_at
+    flagged = gray.first_flagged.get(limping)
+    flagged_after = None if flagged is None else flagged - slow_abs
+    breach_after = None
+    start = t_start
+    while start < t_end:
+        values = driver.response_times.between(start, start + config.bucket)
+        bucket_end = start + config.bucket
+        if values and bucket_end > slow_abs \
+                and percentile(values, 99.0) > config.slo_p99_ms:
+            breach_after = bucket_end - slow_abs
+            break
+        start += config.bucket
+    detection_ok = flagged_after is not None and (
+        breach_after is None or flagged_after <= breach_after
+    )
+
+    latencies = driver.response_times.between(t_start, t_end)
+    p99 = percentile(latencies, 99.0) if latencies else 0.0
+    mean_qps = driver.total_completed / config.duration
+
+    anomalies: list[str] = []
+    history_stats: dict[str, int] = {}
+    if driver.history is not None:
+        from repro.audit import audit_history
+
+        driver.history.checkpoint_coverage(cluster.master.gpt, env.now,
+                                           "post-run")
+        report = audit_history(driver.history, cluster)
+        anomalies = report.descriptions()
+        history_stats = report.stats
+
+    fingerprint = repr((
+        config.seed, len(committed), driver.total_completed,
+        driver.total_failed, driver.total_abandoned, driver.conflicts,
+        lost, len(injector.corruptions), torn_committed,
+        tuple(sorted(scrub.stats().items())),
+        gray.suspects, gray.quarantines, gray.drains, gray.clears,
+        len(coordinator.promotions), coordinator.fenced,
+        coordinator.torn_discarded, replication.integrity_failures,
+        round(p99, 9), round(mean_qps, 9),
+    ))
+
+    return TortureResult(
+        seed=config.seed,
+        committed_orders=len(committed),
+        lost_commits=lost,
+        corruptions_injected=len(injector.corruptions),
+        unresolved=unresolved,
+        torn_txns_committed=torn_committed,
+        scrub_stats=scrub.stats(),
+        gray_stats=gray.stats(),
+        gray_suspects=gray.suspects,
+        gray_quarantines=gray.quarantines,
+        gray_drains=gray.drains,
+        limping_flagged_after=flagged_after,
+        slo_breached_after=breach_after,
+        detection_ok=detection_ok,
+        p99_ms=p99,
+        mean_qps=mean_qps,
+        integrity_errors_surfaced=replication.integrity_failures
+        + coordinator.integrity_fallbacks + scrub.corruptions_found,
+        promotions=len(coordinator.promotions),
+        fenced_partitions=coordinator.fenced,
+        retry_summary=driver.retry_summary(),
+        fingerprint=fingerprint,
+        anomalies=anomalies,
+        history_stats=history_stats,
+        audited=config.audit,
+    )
+
+
+def render_torture(results: typing.Sequence[TortureResult]) -> str:
+    rows = [r.to_row() for r in results]
+    table = render_table(
+        HEADERS, rows,
+        title="Torture — TPC-C under bit rot, torn writes, slow disks, "
+              "flaky links",
+    )
+    lines = [table]
+    for r in results:
+        for problem in r.unresolved:
+            lines.append(f"seed={r.seed}: UNRESOLVED: {problem}")
+        if r.torn_txns_committed:
+            lines.append(f"seed={r.seed}: TORN TXN COMMITTED "
+                         f"({r.torn_txns_committed} rows)")
+        if not r.detection_ok:
+            lines.append(
+                f"seed={r.seed}: gray detector missed the limping node "
+                f"(flagged: {r.limping_flagged_after}, "
+                f"SLO breach: {r.slo_breached_after})"
+            )
+        for anomaly in r.anomalies:
+            lines.append(f"seed={r.seed}: ISOLATION ANOMALY: {anomaly}")
+    if any(r.audited for r in results):
+        total = sum(len(r.anomalies) for r in results)
+        ops = sum(r.history_stats.get("ops_recorded", 0) for r in results)
+        lines.append(f"audit: {total} isolation anomalies over {ops} "
+                     f"recorded operations")
+    for r in results:
+        lines.append("")
+        lines.append(render_scrub_summary(
+            r.scrub_stats, title=f"scrub summary (seed {r.seed})"))
+        lines.append(render_gray_summary(
+            r.gray_stats,
+            title=f"gray-failure detector (seed {r.seed})"))
+    return "\n".join(lines)
+
+
+def quick_torture_config() -> TortureConfig:
+    """Reduced parameters for fast runs (CI smoke, CLI --quick)."""
+    return TortureConfig(
+        tpcc=TpccConfig(
+            warehouses=4, districts_per_warehouse=3,
+            customers_per_district=15, items=100,
+            orders_per_district=6, order_lines_per_order=5,
+        ),
+        clients=5, client_interval=0.4,
+        node_count=5, data_nodes=(1, 2, 3),
+        slow_disk_at=15.0, flaky_at=8.0, flaky_heal_after=20.0,
+        torn_at=30.0, torn_restart_after=10.0,
+        bit_rots=3, bit_rot_window=(10.0, 50.0),
+        duration=70.0,
+    )
+
+
+def full_torture_config() -> TortureConfig:
+    """The long mix: more rot, a second torture hour is overkill for a
+    simulation — 160 s already covers every fault plus full recovery."""
+    return TortureConfig(bit_rots=6, bit_rot_window=(12.0, 120.0),
+                         duration=160.0)

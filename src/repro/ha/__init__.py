@@ -9,14 +9,18 @@ a disaster.  This package keeps partitions available through it:
 * :mod:`repro.ha.replication` — synchronous log shipping: each
   partition's WAL tail is forced to k-1 replica holders before a
   commit is acknowledged.
-* :mod:`repro.ha.faults` — a deterministic fault injector (crashes,
-  restarts, severed NICs, failed disks) driven by the simulation RNG.
+* :mod:`repro.ha.faults` — a deterministic fault injector: fail-stop
+  faults (crashes, restarts, severed NICs, failed disks) plus *gray*
+  faults (bit rot, torn writes, limping disks, flaky links) driven by
+  the simulation RNG.
 * :mod:`repro.ha.failover` — heartbeat-staleness detection, replica
-  promotion through the REDO recovery path, and re-replication back
-  to the target factor.
+  promotion through the REDO recovery path, re-replication back to
+  the target factor, and draining/fencing for gray-failed nodes.
+* :mod:`repro.ha.scrub` — background checksum scrubbing that repairs
+  corrupt rows from healthy replicas or fences what it cannot repair.
 """
 
-from repro.ha.faults import FaultEvent, FaultInjector
+from repro.ha.faults import Corruption, FAULT_KINDS, FaultEvent, FaultInjector
 from repro.ha.failover import FailoverCoordinator, FailoverEvent, FailureDetector
 from repro.ha.placement import PlacementPolicy
 from repro.ha.replication import (
@@ -25,8 +29,11 @@ from repro.ha.replication import (
     ReplicationManager,
     SegmentReplica,
 )
+from repro.ha.scrub import ScrubDaemon, ScrubPolicy
 
 __all__ = [
+    "Corruption",
+    "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FailoverCoordinator",
@@ -36,5 +43,7 @@ __all__ = [
     "REPLICA_BASE_TXN_ID",
     "ReplicaSet",
     "ReplicationManager",
+    "ScrubDaemon",
+    "ScrubPolicy",
     "SegmentReplica",
 ]

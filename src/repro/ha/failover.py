@@ -32,7 +32,8 @@ import typing
 from repro.core.physiological import rollback_range_registration
 from repro.moves import ABORTED, FAILED
 from repro.moves.journal import RangeMoveEntry
-from repro.txn.recovery import recover_worker_table
+from repro.storage.checksum import IntegrityError
+from repro.txn.recovery import integrity_scan, recover_worker_table
 from repro.txn.wal import LOG_BLOCK_BYTES
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -70,6 +71,16 @@ class FailoverCoordinator:
         self.promotions: list[dict] = []
         #: One dict per handled node failure.
         self.recoveries: list[dict] = []
+        #: One dict per limping-node drain (gray-failure handling).
+        self.drains: list[dict] = []
+        #: Promotions that fell back to another replica because the
+        #: preferred one failed its checksums mid-replay.
+        self.integrity_fallbacks = 0
+        #: Partitions fenced (marked unavailable) because no healthy
+        #: copy existed — by failover or by the scrub daemon.
+        self.fenced = 0
+        #: Torn WAL-tail records discarded during restart recovery.
+        self.torn_discarded = 0
 
     @property
     def master(self):
@@ -119,18 +130,14 @@ class FailoverCoordinator:
             if location.node_id != node_id:
                 continue
             replica_set = self.catalog.replica_set_for(location.partition_id)
-            replica = (replica_set.best_replica(self.cluster)
-                       if replica_set is not None else None)
-            if replica is None:
-                self.master.gpt.set_available(table, location.partition_id,
-                                              False)
-                self.unavailable.append((table, location.partition_id))
+            partition = yield from self._promote_any(
+                table, key_range, location, replica_set, priority
+            )
+            if partition is None:
+                self.fence_partition(table, location.partition_id, node_id,
+                                     "no live healthy replica")
                 lost += 1
-                self._note("partition_unavailable", node_id,
-                           location.partition_id)
                 continue
-            yield from self._promote(table, key_range, location,
-                                     replica_set, replica, priority)
             promoted += 1
 
         if self.replication is not None:
@@ -231,6 +238,46 @@ class FailoverCoordinator:
         self._note("move_resolved", survivor, location.partition_id)
         return True
 
+    def fence_partition(self, table: str, partition_id: int,
+                        node_id: int, detail: str = "") -> None:
+        """Mark a partition unavailable — no healthy copy exists.
+        Clients fail fast (``PartitionUnavailableError``) instead of
+        reading corrupt or stale bytes."""
+        self.master.gpt.set_available(table, partition_id, False)
+        pair = (table, partition_id)
+        if pair not in self.unavailable:
+            self.unavailable.append(pair)
+        self.fenced += 1
+        self._note("partition_unavailable", node_id, partition_id, detail)
+
+    def _promote_any(self, table: str, key_range: "KeyRange",
+                     location: "PartitionLocation",
+                     replica_set: "ReplicaSet | None", priority: int = 0):
+        """Generator: promote the best replica, falling back past
+        replicas whose logs fail their checksums mid-replay.  Returns
+        the promoted partition, or ``None`` when no healthy live
+        replica exists."""
+        while replica_set is not None:
+            replica = replica_set.best_replica(self.cluster)
+            if replica is None:
+                return None
+            try:
+                partition = yield from self._promote(
+                    table, key_range, location, replica_set, replica,
+                    priority,
+                )
+            except IntegrityError:
+                # The replica's log is rotten: never promote garbage.
+                # Drop it and try the next holder.
+                replica.stale = True
+                self.integrity_fallbacks += 1
+                self._note("replica_corrupt", replica.holder_node_id,
+                           location.partition_id,
+                           "checksum mismatch during promotion replay")
+                continue
+            return partition
+        return None
+
     def _promote(self, table: str, key_range: "KeyRange",
                  location: "PartitionLocation", replica_set: "ReplicaSet",
                  replica: "SegmentReplica", priority: int = 0):
@@ -297,16 +344,110 @@ class FailoverCoordinator:
                 continue
             yield from self.replication.protect_partition(partition, priority)
 
+    # -- limping-node drain (gray failures) ----------------------------------
+
+    def drain_node(self, node_id: int, priority: int = 0):
+        """Generator: demote every primary off a limping-but-alive
+        node onto its replicas, and migrate the replicas it holds —
+        the gray-failure response: the node never crashed, so waiting
+        for heartbeat staleness would wait forever while its latency
+        poisons every transaction routed through it.
+
+        Each partition is fenced for the instant of its switch (clients
+        fail fast and retry through the normal bounded-retry path), so
+        no commit can land on the old primary between the replica-log
+        snapshot and the repoint.  Partitions with no live healthy
+        replica stay where they are — degraded service beats none.
+        """
+        self._note("drain_started", node_id)
+        worker = self.cluster.worker(node_id)
+        if self.replication is not None:
+            self.replication.avoid_nodes.add(node_id)
+        # In-flight transactions on the limping node would hold locks
+        # across the switch; abort them (they retry like any failover).
+        for txn in self.cluster.txns.active_transactions():
+            visited = getattr(txn, "_visited_nodes", ())
+            if node_id in visited or worker.wal in txn._dirty_logs:
+                self.cluster.txns.abort(txn)
+        t0 = self.env.now
+        demoted = kept = 0
+        for table, key_range, location in list(
+                self.master.gpt.locations_on(node_id)):
+            if location.node_id != node_id or location.is_moving:
+                continue
+            replica_set = self.catalog.replica_set_for(location.partition_id)
+            if replica_set is None \
+                    or replica_set.best_replica(self.cluster) is None:
+                kept += 1
+                continue
+            # Fence for the duration of the switch; _promote repoints
+            # the location and node_restored-style availability is
+            # restored immediately after.
+            self.master.gpt.set_available(table, location.partition_id,
+                                          False)
+            partition = yield from self._promote_any(
+                table, key_range, location, replica_set, priority
+            )
+            self.master.gpt.set_available(table, location.partition_id,
+                                          True)
+            if partition is None:
+                kept += 1
+            else:
+                demoted += 1
+        if self.replication is not None:
+            # Replicas the limping node holds should not stay the only
+            # safety net behind their partitions; reseed them elsewhere.
+            for replica_set in self.catalog.replica_sets_holding_on(node_id):
+                for replica in replica_set.replicas:
+                    if replica.holder_node_id == node_id:
+                        replica.stale = True
+            yield from self._restore_factor(priority)
+        self.drains.append({
+            "node_id": node_id,
+            "started_at": t0,
+            "seconds": self.env.now - t0,
+            "demoted": demoted,
+            "kept": kept,
+        })
+        self._note("drain_finished", node_id,
+                   detail=f"{demoted} demoted, {kept} kept")
+
+    def undrain_node(self, node_id: int) -> None:
+        """Lift the placement embargo on a node that recovered from
+        its gray failure (detector hysteresis cleared it)."""
+        if self.replication is not None:
+            self.replication.avoid_nodes.discard(node_id)
+        self._note("drain_lifted", node_id)
+
     # -- recovery of a returning node ----------------------------------------
 
+    def _discard_torn_tail(self, worker) -> int:
+        """Local restart recovery: scan the node's WAL and physically
+        drop a torn tail (records a crash mid-flush half-persisted).
+        Nothing in the torn suffix was ever acknowledged."""
+        try:
+            _records, torn = integrity_scan(worker.wal, 0)
+        except IntegrityError:
+            # Mid-log corruption is not a torn tail; leave it for the
+            # scrub/fence path rather than guessing here.
+            return 0
+        if torn:
+            worker.wal.discard_tail(torn)
+            self.torn_discarded += torn
+            self._note("torn_tail_discarded", worker.node_id,
+                       detail=f"{torn} records")
+        return torn
+
     def node_restored(self, node_id: int, priority: int = 0):
-        """Generator: a failed node's heartbeats resumed — restore its
+        """Generator: a failed node's heartbeats resumed — run local
+        restart recovery (discarding any torn WAL tail), restore its
         unavailable partitions and refresh the stale replicas it holds."""
         if node_id not in self.failed_nodes:
             return
         self.failed_nodes.discard(node_id)
         self._note("node_restored", node_id)
         worker = self.cluster.worker(node_id)
+        self._discard_torn_tail(worker)
         for table, _key_range, location in self.master.gpt.locations_on(node_id):
             if (location.node_id == node_id and not location.available
                     and location.partition_id in worker.partitions):
@@ -340,9 +481,12 @@ class FailureDetector:
     def __init__(self, cluster: "Cluster",
                  coordinator: FailoverCoordinator,
                  miss_threshold: int = 3,
-                 poll_interval: float | None = None):
+                 poll_interval: float | None = None,
+                 restore_threshold: int = 2):
         if miss_threshold < 1:
             raise ValueError("miss_threshold must be >= 1")
+        if restore_threshold < 1:
+            raise ValueError("restore_threshold must be >= 1")
         self.cluster = cluster
         self.env = cluster.env
         self.coordinator = coordinator
@@ -350,8 +494,18 @@ class FailureDetector:
         self.poll_interval = (poll_interval if poll_interval is not None
                               else self.monitor.interval)
         self.deadline = miss_threshold * self.monitor.interval
+        #: Hysteresis on the way back: a failed node must look healthy
+        #: for this many *consecutive* polls before it is restored.  A
+        #: node flapping through rapid sever/restore cycles otherwise
+        #: oscillates the detector — each spurious restore tears down
+        #: and reseeds replicas, and the next stale poll fails the node
+        #: all over again.
+        self.restore_threshold = restore_threshold
+        self._fresh_polls: dict[int, int] = {}
         #: ``(time, node_id)`` of every staleness detection.
         self.detections: list[tuple[float, int]] = []
+        #: ``(time, node_id)`` of every restoration actually issued.
+        self.restorations: list[tuple[float, int]] = []
 
     def run(self):
         """Generator: the detection loop (never returns)."""
@@ -368,8 +522,17 @@ class FailureDetector:
                     continue
                 stale = (now - last) > self.deadline
                 if node_id in self.coordinator.failed_nodes:
-                    if not stale:
-                        yield from self.coordinator.node_restored(node_id)
+                    if stale:
+                        self._fresh_polls.pop(node_id, None)
+                        continue
+                    fresh = self._fresh_polls.get(node_id, 0) + 1
+                    if fresh < self.restore_threshold:
+                        self._fresh_polls[node_id] = fresh
+                        continue
+                    self._fresh_polls.pop(node_id, None)
+                    self.restorations.append((now, node_id))
+                    yield from self.coordinator.node_restored(node_id)
                 elif stale:
+                    self._fresh_polls.pop(node_id, None)
                     self.detections.append((now, node_id))
                     yield from self.coordinator.node_failed(node_id)

@@ -33,6 +33,7 @@ import typing
 from repro.hardware.disk import DiskFailedError
 from repro.hardware.network import LinkDownError
 from repro.ha.placement import PlacementPolicy
+from repro.storage.checksum import IntegrityError
 from repro.txn.wal import LOG_BLOCK_BYTES, LOG_RECORD_HEADER_BYTES, LogManager
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -113,6 +114,12 @@ class ReplicationManager:
         self.records_shipped = 0
         self.bytes_shipped = 0
         self.ship_failures = 0
+        #: Corrupt records caught at a trust boundary (shipment or
+        #: replica-log compaction) instead of propagating to a replica.
+        self.integrity_failures = 0
+        #: Nodes to keep new replicas off (quarantined / draining
+        #: limping nodes; maintained by the failover coordinator).
+        self.avoid_nodes: set[int] = set()
         self._install()
 
     def _install(self) -> None:
@@ -154,6 +161,15 @@ class ReplicationManager:
         t0 = self.env.now
         groups: dict[int, list["LogRecord"]] = {}
         for partition_id, record in pending:
+            # Never ship bytes that already fail their checksum: a
+            # corrupt record must not propagate to healthy replicas,
+            # and a commit whose log records are garbage must not be
+            # acknowledged.
+            try:
+                record.verify(where="replica-ship")
+            except IntegrityError:
+                self.integrity_failures += 1
+                raise
             groups.setdefault(partition_id, []).append(record)
         for partition_id, records in groups.items():
             replica_set = self.catalog.replica_set_for(partition_id)
@@ -251,6 +267,16 @@ class ReplicationManager:
             replica.stale = True
             self.ship_failures += 1
             return False
+        try:
+            for record in log.records:
+                record.verify(where="replica-compact")
+        except IntegrityError:
+            # A rotten replica log must not be folded into a "clean"
+            # base image; drop the replica and let re-replication
+            # rebuild it from the primary.
+            replica.stale = True
+            self.integrity_failures += 1
+            return False
         committed: set[int] = set()
         aborted: set[int] = set()
         for record in log.records:
@@ -309,6 +335,7 @@ class ReplicationManager:
         need = (self.k - 1) - len(replica_set.replicas)
         if need > 0:
             exclude = {r.holder_node_id for r in replica_set.replicas}
+            exclude |= self.avoid_nodes
             holders = self.policy.choose_holders(
                 partition.node_id, need, exclude
             )

@@ -69,6 +69,10 @@ class Disk:
         self.bytes_read = 0
         self.bytes_written = 0
         self.failed = False
+        #: Gray-failure knob: every I/O takes this many times longer
+        #: (a limping spindle — vibration, pending-sector remaps, a
+        #: dying bearing — that still completes every request).
+        self.slow_factor = 1.0
 
     def fail(self) -> None:
         """Mark the device dead; all subsequent I/O raises."""
@@ -76,8 +80,22 @@ class Disk:
 
     def repair(self) -> None:
         """Bring a failed device back (drive swap); contents are gone —
-        callers must re-replicate onto it."""
+        callers must re-replicate onto it.  The replacement drive is
+        healthy: any limping factor is cleared too."""
         self.failed = False
+        self.slow_factor = 1.0
+
+    def slow_down(self, factor: float) -> None:
+        """Make the device limp: multiply every I/O's service time by
+        ``factor`` (>= 1).  Unlike :meth:`fail`, requests still
+        succeed — the gray failure the latency-outlier detector exists
+        to catch."""
+        if factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {factor}")
+        self.slow_factor = factor
+
+    def restore_speed(self) -> None:
+        self.slow_factor = 1.0
 
     def read(self, nbytes: int, sequential: bool = False, priority: int = 0):
         """Generator: perform a read of ``nbytes``.
@@ -103,6 +121,8 @@ class Disk:
         duration = self.spec.transfer_seconds(nbytes)
         if not sequential:
             duration += self.spec.access_seconds
+        if self.slow_factor != 1.0:
+            duration *= self.slow_factor
         yield from self._resource.serve(duration, priority=priority)
 
     def read_page(self, priority: int = 0):

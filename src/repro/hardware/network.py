@@ -39,6 +39,13 @@ class NetworkPort:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.severed = False
+        #: Gray-failure knobs (a flaky cable / duplex mismatch: the
+        #: link stays up but loses frames and adds latency).  Zero on
+        #: a healthy port — and a healthy transfer draws *no* random
+        #: numbers, so fault-free runs are bit-identical to before.
+        self.loss_probability = 0.0
+        self.extra_delay = 0.0
+        self.retransmits = 0
 
     def sever(self) -> None:
         """Cut both lanes (cable pull / NIC death)."""
@@ -46,6 +53,26 @@ class NetworkPort:
 
     def restore(self) -> None:
         self.severed = False
+
+    def make_flaky(self, loss_probability: float = 0.0,
+                   extra_delay: float = 0.0) -> None:
+        """Degrade the port without cutting it: each transfer pays
+        ``extra_delay`` seconds, and with ``loss_probability`` per
+        attempt the frame is lost and retransmitted (another full
+        send's worth of wire time)."""
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss probability must be in [0, 1), got {loss_probability}"
+            )
+        if extra_delay < 0.0:
+            raise ValueError(f"extra delay must be >= 0, got {extra_delay}")
+        self.loss_probability = loss_probability
+        self.extra_delay = extra_delay
+
+    def heal(self) -> None:
+        """Clear the flaky-link degradation (cable reseated)."""
+        self.loss_probability = 0.0
+        self.extra_delay = 0.0
 
     @classmethod
     def _claim_lane_id(cls) -> int:
@@ -82,6 +109,22 @@ class Network:
             return
         wire_time = nbytes / min(src.bandwidth, dst.bandwidth)
         duration = self.message_latency + wire_time
+        # Flaky-link degradation.  Only a degraded port consumes random
+        # numbers, so healthy runs keep their exact event timeline.
+        extra = src.extra_delay + dst.extra_delay
+        if extra:
+            duration += extra
+        loss = max(src.loss_probability, dst.loss_probability)
+        if loss:
+            rng = self.env.rng
+            resends = 0
+            while resends < 8 and rng.random() < loss:
+                resends += 1
+            if resends:
+                duration += resends * (self.message_latency + wire_time)
+                port = src if src.loss_probability >= dst.loss_probability \
+                    else dst
+                port.retransmits += resends
 
         # Total-order lane acquisition (see module docstring).
         lanes = sorted(

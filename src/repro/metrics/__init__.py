@@ -4,8 +4,10 @@ from repro.metrics.breakdown import CostBreakdown
 from repro.metrics.series import LatencyHistogram, TimeSeries, percentile
 from repro.metrics.report import (
     render_admission_summary,
+    render_gray_summary,
     render_kernel_stats,
     render_move_summary,
+    render_scrub_summary,
     render_series_table,
     render_slo_table,
     render_table,
@@ -17,8 +19,10 @@ __all__ = [
     "TimeSeries",
     "percentile",
     "render_admission_summary",
+    "render_gray_summary",
     "render_kernel_stats",
     "render_move_summary",
+    "render_scrub_summary",
     "render_series_table",
     "render_slo_table",
     "render_table",

@@ -189,6 +189,53 @@ def render_wal_summary(retention: dict[str, int],
     return render_table(["metric", "value"], rows, title=title)
 
 
+def render_scrub_summary(stats: dict[str, int],
+                         title: str = "scrub summary") -> str:
+    """Render a :class:`~repro.ha.scrub.ScrubDaemon`'s :meth:`stats` —
+    how much was walked, what silent corruption it surfaced, and how
+    each instance was resolved (repair from replica, fence, or replica
+    rebuild)."""
+    rows = [
+        ["scrub ticks", stats.get("ticks", 0)],
+        ["full passes", stats.get("passes", 0)],
+        ["pages scanned", stats.get("pages_scanned", 0)],
+        ["versions verified", stats.get("versions_verified", 0)],
+        ["replica logs scanned", stats.get("replica_logs_scanned", 0)],
+        ["corruptions found", stats.get("corruptions_found", 0)],
+        ["repaired from replica", stats.get("repaired", 0)],
+        ["fenced (unrepairable)", stats.get("fenced", 0)],
+        ["replicas rebuilt", stats.get("replicas_rebuilt", 0)],
+        ["throttled ticks", stats.get("throttled_ticks", 0)],
+    ]
+    return render_table(["metric", "value"], rows, title=title)
+
+
+def render_gray_summary(stats: dict[str, int],
+                        events: typing.Sequence = (),
+                        title: str = "gray-failure detector") -> str:
+    """Render a :class:`~repro.cluster.monitor.GrayFailureDetector`'s
+    :meth:`stats`, optionally followed by its event timeline
+    (suspect/quarantine/drain/clear transitions with sim timestamps)."""
+    rows = [
+        ["suspect transitions", stats.get("suspects", 0)],
+        ["quarantines", stats.get("quarantines", 0)],
+        ["drains driven", stats.get("drains", 0)],
+        ["clears", stats.get("clears", 0)],
+        ["suspected now", stats.get("suspected_now", 0)],
+        ["quarantined now", stats.get("quarantined_now", 0)],
+    ]
+    out = render_table(["metric", "value"], rows, title=title)
+    if events:
+        lines = [
+            f"  t={event.time:8.3f}  {event.kind:<12} node "
+            f"{event.node_id}"
+            + (f"  ({event.detail})" if event.detail else "")
+            for event in events
+        ]
+        out += "\n" + "\n".join(lines)
+    return out
+
+
 def render_audit_summary(label: str, anomalies: typing.Sequence[str],
                          stats: dict[str, int]) -> str:
     """Render one audited run's verdict: the evidence volume (how many

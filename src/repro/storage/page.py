@@ -67,9 +67,19 @@ class Page:
         return slot
 
     def get(self, slot: int) -> RecordVersion:
+        """Fetch a slot, verifying its checksum before returning it.
+
+        Verification is cached per version (see ``RecordVersion.clean``)
+        so buffer-resident rows are not re-hashed on every logical
+        read; the fault injector drops the cache when it corrupts the
+        stored bytes, so the *next* read raises ``IntegrityError``
+        instead of returning garbage.
+        """
         version = self._slots[slot] if 0 <= slot < len(self._slots) else None
         if version is None:
             raise KeyError(f"page {self.page_id}: slot {slot} is empty")
+        if not version.clean:
+            version.verify(where="page-read")
         return version
 
     def remove(self, slot: int) -> RecordVersion:

@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.storage.checksum import checksum_of, verify
+
 _KIND_BASE_WIDTH = {"int": 8, "float": 8, "str": 2, "blob": 4}
 _KINDS = set(_KIND_BASE_WIDTH)
 
@@ -134,17 +136,43 @@ class RecordVersion:
     #: ``Segment.insert_version``); lets undo/GC find a version even
     #: after a segment split relocated it.
     home: typing.Any = dataclasses.field(default=None, repr=False, compare=False)
+    #: CRC32 over the immutable payload (key + values), computed by
+    #: :meth:`make`.  ``None`` for hand-built versions (legacy rows and
+    #: test fixtures) — those verify trivially.  The MVCC header fields
+    #: (``created_ts``/``deleted_by``/``deleted_ts``) mutate after
+    #: creation and are deliberately outside the covered payload.
+    checksum: int | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    #: Cleared by the fault injector when it rots the stored bytes;
+    #: pages verify lazily — once after creation, and again whenever
+    #: this flag drops (modelling re-verification on the next fetch of
+    #: changed on-disk bytes, without re-hashing buffer-resident rows
+    #: on every logical read).
+    clean: bool = dataclasses.field(default=False, repr=False, compare=False)
 
     @classmethod
     def make(cls, schema: Schema, values: typing.Sequence[typing.Any],
              created_by: int) -> "RecordVersion":
         values = tuple(values)
+        key = schema.key_of(values)
         return cls(
-            key=schema.key_of(values),
+            key=key,
             values=values,
             size_bytes=schema.sizeof(values) + VERSION_HEADER_BYTES,
             created_by=created_by,
+            checksum=checksum_of((key, values)),
         )
+
+    def verify(self, *, where: str = "page-read") -> None:
+        """Raise ``IntegrityError`` unless the payload still matches
+        the checksum it was created with; caches a clean verdict until
+        the stored bytes change again."""
+        if self.clean:
+            return
+        verify((self.key, self.values), self.checksum,
+               where=where, detail=self.key)
+        self.clean = True
 
     @property
     def is_delete_pending_or_done(self) -> bool:

@@ -17,8 +17,10 @@ data still owned locally.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import typing
 
+from repro.storage.checksum import IntegrityError
 from repro.storage.record import RecordVersion
 from repro.txn.wal import LogManager, LogRecord
 
@@ -27,6 +29,20 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 #: Pseudo transaction id/timestamp for replayed (committed) state.
 REDO_TXN_ID = -1
+
+#: Every REDO pass stamps the versions it rebuilds with its own
+#: synthetic writer id (-10001, -10002, ...).  Version identity is
+#: ``(created_by, created_ts)`` — the isolation auditor keys on it —
+#: so reusing one constant would alias a key's rebuilt copy with its
+#: pre-crash copy and report phantom lost updates across a failover.
+#: The range sits far below the torn-write ids (-1000 down) and the
+#: replica base id (-2).
+_REDO_WRITER_BASE = -10_000
+_redo_generations = itertools.count(1)
+
+
+def _fresh_redo_writer() -> int:
+    return _REDO_WRITER_BASE - next(_redo_generations)
 
 
 @dataclasses.dataclass
@@ -42,6 +58,9 @@ class RecoveryReport:
     start_lsn: int = 0
     #: Rows loaded from a fuzzy-checkpoint base image before REDO.
     image_rows: int = 0
+    #: Records discarded as a torn WAL tail (a crash mid-flush left a
+    #: corrupt suffix; nothing in it was ever acknowledged).
+    torn_records_discarded: int = 0
 
     @property
     def redone_total(self) -> int:
@@ -83,16 +102,64 @@ def _iter_after(log: LogManager, start_lsn: int):
     return (r for r in log.records if r.lsn > start_lsn)
 
 
-def analyze(log: LogManager, start_lsn: int = 0
+def integrity_scan(log: LogManager, start_lsn: int = 0
+                   ) -> tuple[list[LogRecord], int]:
+    """Verify every record's checksum before replay.
+
+    Returns ``(verified_records, torn_discarded)``.  A corrupt record
+    with *no* valid record after it is a **torn tail**: a crash mid
+    log-flush persisted only a prefix of the last write(s).  Nothing
+    in the torn suffix was ever acknowledged (the flush never
+    returned), so it is discarded — notably, a torn *commit* record
+    does NOT make its transaction committed.  A corrupt record that is
+    *followed* by valid records cannot be explained by a torn flush —
+    that is mid-log bit rot, and replaying around it could resurrect
+    or drop acknowledged effects, so it raises ``IntegrityError`` and
+    the caller must fall back to another replica or fence.
+    """
+    records = list(_iter_after(log, start_lsn))
+    bad = None
+    for i, record in enumerate(records):
+        try:
+            record.verify(where="wal-replay")
+        except IntegrityError:
+            bad = i
+            break
+    if bad is None:
+        return records, 0
+    for later in records[bad + 1:]:
+        try:
+            later.verify(where="wal-replay")
+        except IntegrityError:
+            continue
+        raise IntegrityError(
+            f"mid-log corruption: record lsn={records[bad].lsn} of "
+            f"{log.name if hasattr(log, 'name') else 'log'} fails its "
+            f"checksum but valid records follow",
+            where="wal-replay", detail=records[bad].lsn,
+        )
+    return records[:bad], len(records) - bad
+
+
+def analyze(log: LogManager, start_lsn: int = 0,
+            report: RecoveryReport | None = None
             ) -> tuple[list[LogRecord], set[int], int]:
     """ARIES-style analysis pass (simplified): the data records after
     ``start_lsn``, the set of committed transaction ids, and the count
-    of loser transactions whose effects must not be replayed."""
+    of loser transactions whose effects must not be replayed.
+
+    Every scanned record is checksum-verified first (see
+    :func:`integrity_scan`); a torn tail is discarded and counted on
+    ``report``, mid-log corruption propagates as ``IntegrityError``.
+    """
     committed: set[int] = set()
     aborted: set[int] = set()
     seen: set[int] = set()
     data_records: list[LogRecord] = []
-    for record in _iter_after(log, start_lsn):
+    records, torn = integrity_scan(log, start_lsn)
+    if report is not None:
+        report.torn_records_discarded = torn
+    for record in records:
         if record.kind == "commit":
             committed.add(record.txn_id)
         if record.kind == "abort":
@@ -111,7 +178,8 @@ def analyze(log: LogManager, start_lsn: int = 0
 
 def redo(partitions_by_table: dict[str, "Partition"],
          records: typing.Sequence[LogRecord],
-         committed: set[int]) -> RecoveryReport:
+         committed: set[int],
+         writer: int | None = None) -> RecoveryReport:
     """Replay committed data records, in log order, into fresh
     partitions.
 
@@ -122,6 +190,8 @@ def redo(partitions_by_table: dict[str, "Partition"],
     """
     report = RecoveryReport(analyzed_records=len(records),
                             committed_transactions=len(committed))
+    if writer is None:
+        writer = _fresh_redo_writer()
     for record in records:
         if record.txn_id not in committed:
             continue
@@ -131,7 +201,8 @@ def redo(partitions_by_table: dict[str, "Partition"],
         partition = partitions_by_table[table]
         if record.kind in ("insert", "update"):
             _table, _key, values = record.payload
-            _apply_upsert(partition, tuple(values), record.kind, report)
+            _apply_upsert(partition, tuple(values), record.kind, report,
+                          writer)
         elif record.kind == "delete":
             _table, key = record.payload
             _apply_delete(partition, key, report)
@@ -139,14 +210,15 @@ def redo(partitions_by_table: dict[str, "Partition"],
 
 
 def _apply_upsert(partition: "Partition", values: tuple, kind: str,
-                  report: RecoveryReport) -> None:
+                  report: RecoveryReport,
+                  writer: int = REDO_TXN_ID) -> None:
     schema = partition.schema
     key = schema.key_of(values)
     segment = partition.ensure_segment_for(key)
     # Newer version wins: mark any existing replayed version deleted.
     for page_no, slot, version in list(segment.versions_for(key)):
         segment.remove_version(key, page_no, slot)
-    version = RecordVersion.make(schema, values, REDO_TXN_ID)
+    version = RecordVersion.make(schema, values, writer)
     version.created_ts = 1
     segment.insert_version(version, allow_overflow=True)
     if kind == "insert":
@@ -194,14 +266,23 @@ def recover_worker_table(log: LogManager, partition: "Partition",
     # ``redo_lsn`` points AT the first record REDO must replay (the
     # oldest in-flight transaction's first write), so analysis begins
     # one LSN earlier — analyze() iterates strictly after its argument.
-    records, committed, losers = analyze(log, max(start - 1, 0))
     report = RecoveryReport()
+    records, committed, losers = analyze(log, max(start - 1, 0), report)
+    if report.torn_records_discarded:
+        # Physically drop the torn suffix (real recovery truncates the
+        # tail it discards) so post-restart appends don't turn the torn
+        # record into apparent mid-log corruption for later replays.
+        discard = getattr(log, "discard_tail", None)
+        if discard is not None:
+            discard(report.torn_records_discarded)
+    writer = _fresh_redo_writer()
     if image is not None:
         for key, values, _nbytes in image.rows:
-            _apply_upsert(partition, tuple(values), "insert", report)
+            _apply_upsert(partition, tuple(values), "insert", report,
+                          writer)
         report.image_rows = report.redone_inserts
         report.redone_inserts = 0
-    tail = redo({table: partition}, records, committed)
+    tail = redo({table: partition}, records, committed, writer)
     report.analyzed_records = tail.analyzed_records
     report.committed_transactions = tail.committed_transactions
     report.redone_inserts += tail.redone_inserts

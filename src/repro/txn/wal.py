@@ -29,6 +29,7 @@ from repro.hardware.network import Network, NetworkPort
 from repro.metrics.breakdown import CostBreakdown
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
+from repro.storage.checksum import checksum_of, verify as _verify_checksum
 
 #: Minimum physical write when forcing the log (one log block).
 LOG_BLOCK_BYTES = 4096
@@ -45,6 +46,13 @@ DEFAULT_SEGMENT_RECORDS = 1024
 _MAX_FREE_SEGMENTS = 8
 
 
+def log_record_checksum(lsn: int, txn_id: int, kind: str,
+                        payload: typing.Any) -> int:
+    """The CRC32 a well-formed log record carries (over its header
+    fields and the canonical serialization of its payload)."""
+    return checksum_of((lsn, txn_id, kind, payload))
+
+
 @dataclasses.dataclass(frozen=True)
 class LogRecord:
     """One logical log record."""
@@ -54,6 +62,17 @@ class LogRecord:
     kind: str  # insert | delete | update | commit | abort | checkpoint
     payload: typing.Any = None
     nbytes: int = LOG_RECORD_HEADER_BYTES
+    #: CRC32 over (lsn, txn_id, kind, payload), stamped by
+    #: ``LogManager.append``.  ``None`` on hand-built records (test
+    #: fixtures) — those verify trivially.
+    checksum: int | None = dataclasses.field(default=None, compare=False)
+
+    def verify(self, *, where: str = "wal-replay") -> None:
+        """Raise ``IntegrityError`` unless the record still matches the
+        checksum it was appended with (bit rot / torn write detection
+        on every replay and shipment)."""
+        _verify_checksum((self.lsn, self.txn_id, self.kind, self.payload),
+                         self.checksum, where=where, detail=self.lsn)
 
 
 class LogSegment:
@@ -272,7 +291,11 @@ class LogManager:
         """
         self._next_lsn += 1
         size = LOG_RECORD_HEADER_BYTES if nbytes is None else nbytes
-        record = LogRecord(self._next_lsn, txn_id, kind, payload, size)
+        record = LogRecord(
+            self._next_lsn, txn_id, kind, payload, size,
+            checksum=log_record_checksum(self._next_lsn, txn_id, kind,
+                                         payload),
+        )
         segment = self._segments[-1]
         if len(segment.records) >= self.segment_records:
             segment.sealed = True
@@ -377,6 +400,38 @@ class LogManager:
             self.live_records -= len(trimmed)
             self.live_bytes -= sum(r.nbytes for r in trimmed)
         self.records_truncated += cut
+        return cut
+
+    def discard_tail(self, count: int) -> int:
+        """Physically drop the newest ``count`` records (a torn tail
+        detected at recovery: the crash persisted only a prefix of the
+        final flush, so the suffix never existed on disk).  LSNs are
+        not reissued — the sequence keeps climbing past the hole, as a
+        real log switch would.  Returns how many records were cut."""
+        cut = 0
+        while cut < count and self._segments:
+            segment = self._segments[-1]
+            if not segment.records:
+                if len(self._segments) == 1:
+                    break
+                self._segments.pop()
+                continue
+            record = segment.records.pop()
+            cut += 1
+            self.live_records -= 1
+            self.live_bytes -= record.nbytes
+            self._appended_bytes -= record.nbytes
+            if record.txn_id > 0:
+                self._txn_first_lsn.pop(record.txn_id, None)
+        tail = self._segments[-1] if self._segments else None
+        if tail is not None and not tail.records and len(self._segments) > 1:
+            self._segments.pop()
+            tail = self._segments[-1]
+        if tail is not None:
+            tail.sealed = False
+            self.tail = tail.records[-1] if tail.records else None
+        if self._flushed_bytes > self._appended_bytes:
+            self._flushed_bytes = self._appended_bytes
         return cut
 
     def iter_from(self, lsn: int) -> typing.Iterator[LogRecord]:

@@ -15,6 +15,7 @@ import typing
 from repro.hardware.disk import DiskFailedError
 from repro.hardware.network import LinkDownError
 from repro.metrics.breakdown import CostBreakdown
+from repro.storage.checksum import IntegrityError
 from repro.txn.manager import TransactionAborted
 from repro.txn.locks import LockTimeoutError
 from repro.workload.tpcc_txns import DEFAULT_MIX, TRANSACTIONS, TpccContext
@@ -41,8 +42,12 @@ BACKOFF_CAP_SECONDS = 0.5
 #: Transient errors worth retrying: aborts/conflicts, lock timeouts,
 #: routing races and down nodes (LookupError covers NodeDownError and
 #: PartitionUnavailableError), and hardware faults observed mid-query.
+#: IntegrityError is retryable too: a checksum mismatch is *surfaced*
+#: (never silently read past) and the scrub daemon repairs or fences
+#: the row, so a later retry either succeeds or fails fast on an
+#: unavailable partition.
 RETRYABLE = (TransactionAborted, LockTimeoutError, LookupError,
-             DiskFailedError, LinkDownError)
+             DiskFailedError, LinkDownError, IntegrityError)
 
 
 def backoff_delay(attempt: int) -> float:

@@ -135,3 +135,103 @@ def test_node_failed_is_idempotent(rig):
     run(env, coordinator.node_failed(1))
     assert len(coordinator.promotions) == first
     assert len(coordinator.recoveries) == 1
+
+
+def test_rapid_sever_restore_does_not_oscillate_detector(rig):
+    """Heartbeat flapping: a node bouncing between reachable and
+    severed must produce one detection and (after it finally holds
+    still) one restoration — not a detect/restore cycle per bounce."""
+    env, cluster = rig
+    insert_rows(env, cluster, 10)
+    manager = protect(env, cluster, k=2)
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    cluster.monitor.interval = 1.0
+    detector = FailureDetector(cluster, coordinator, miss_threshold=2,
+                               restore_threshold=3)
+    port = cluster.worker(1).port
+
+    stable_at = {}
+
+    def flapper():
+        port.sever()
+        yield env.timeout(5.0)        # long enough to be detected dead
+        for _ in range(5):            # rapid flapping ...
+            port.restore()
+            yield env.timeout(1.2)    # ... up for barely one heartbeat
+            port.sever()
+            yield env.timeout(3.4)    # ... then stale again
+        port.restore()                # stable recovery at last
+        stable_at["t"] = env.now
+        yield env.timeout(8.0)
+
+    def script():
+        env.process(cluster.monitor.run())
+        env.process(detector.run())
+        yield env.process(flapper())
+
+    run(env, script())
+    assert len(detector.detections) == 1
+    assert len(detector.restorations) == 1
+    # The restoration came from the stable window at the end, not from
+    # any mid-flap lucky heartbeat.
+    assert detector.restorations[0][0] > stable_at["t"]
+
+
+def test_restore_threshold_validated(rig):
+    env, cluster = rig
+    manager = protect(env, cluster, k=2)
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    with pytest.raises(ValueError):
+        FailureDetector(cluster, coordinator, restore_threshold=0)
+
+
+def test_promotion_falls_back_past_corrupt_replica(rig):
+    """A replica whose log fails its checksum mid-replay must be
+    skipped (marked stale) in favour of the next healthy replica."""
+    import dataclasses as dc
+
+    env, cluster = rig
+    insert_rows(env, cluster, 10)
+    manager = protect(env, cluster, k=3)
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    partition = next(iter(cluster.workers[1].partitions.values()))
+    replica_set = cluster.catalog.replica_set_for(partition.partition_id)
+    assert len(replica_set.replicas) == 2
+    # Rot the replica that promotion would pick first (lowest holder).
+    victim = min(replica_set.replicas, key=lambda r: r.holder_node_id)
+    index = next(i for i, r in enumerate(victim.log.records)
+                 if r.kind == "insert")
+    record = victim.log.records[index]
+    victim.log.records[index] = dc.replace(record,
+                                           payload=("§rot", record.payload))
+
+    cluster.worker(1).machine.crash()
+    run(env, coordinator.node_failed(1))
+
+    assert victim.stale
+    assert coordinator.integrity_fallbacks == 1
+    assert coordinator.promotions  # the healthy replica still promoted
+    rows = read_all(env, cluster, [0, 5, 9])
+    assert rows[5] == (5, "v005")
+
+
+def test_drain_node_demotes_primaries_without_losing_commits(rig):
+    env, cluster = rig
+    insert_rows(env, cluster, 12)
+    manager = protect(env, cluster, k=2)
+    coordinator = FailoverCoordinator(cluster, replication=manager)
+    assert cluster.workers[1].partitions
+
+    run(env, coordinator.drain_node(1))
+
+    assert coordinator.drains and coordinator.drains[0]["node_id"] == 1
+    assert coordinator.drains[0]["demoted"] >= 1
+    assert 1 in manager.avoid_nodes
+    # Every partition moved off the drained node; data intact.
+    locations = cluster.master.gpt.locations_on(1)
+    assert all(loc.node_id != 1 for _t, _r, loc in locations) or not locations
+    rows = read_all(env, cluster, list(range(12)))
+    assert rows[7] == (7, "v007")
+
+    coordinator.undrain_node(1)
+    assert 1 not in manager.avoid_nodes
