@@ -1,0 +1,106 @@
+"""Bench: the batched event core's home turf.
+
+``bench_kernel.py`` measures the kernel on the mixed workloads the
+model generates, where singleton timed events dominate and a C
+``heapq`` is a strong opponent.  This file measures the shapes the
+calendar-queue / cohort-dispatch core was built for:
+
+* ``lockstep_cohorts`` — many processes on an identical period, so
+  every calendar advance pops one *cohort* of same-timestamp events
+  and dispatches it in one inner loop, instead of N heap pops with a
+  full sift each.
+* ``barrier_waves`` — processes that keep re-converging on shared
+  deadline ticks (quantized delays), the rebalancer/checkpoint pattern.
+* ``deep_pending_set`` — thousands of timers pending at once; the
+  calendar's O(1) bucket insert vs. the heap's O(log n) sift.
+
+Committed baseline: ``benchmarks/baselines/BENCH_kernel_batched.json``
+(CI gate: >25% regression vs. that file fails bench-smoke).  Every
+scenario asserts its model-visible counters, so a batching bug that
+changed virtual-time behaviour fails before it reaches the figures.
+"""
+
+import pytest
+
+from repro.sim.engine import Environment
+
+
+def lockstep_cohorts(procs: int = 500, steps: int = 100) -> tuple:
+    """All processes tick with the same period: every timestamp is one
+    ``procs``-wide cohort."""
+    env = Environment()
+
+    def ticker():
+        for _ in range(steps):
+            yield env.timeout(0.001)
+
+    for _ in range(procs):
+        env.process(ticker())
+    env.run()
+    stats = env.kernel_stats()
+    return env.now, stats["cohort_max"], stats["events_processed"]
+
+
+def barrier_waves(procs: int = 200, waves: int = 150) -> tuple:
+    """Quantized deadlines: every process rounds its wake-up to the next
+    shared 1 ms barrier tick, so cohorts re-form each wave even though
+    per-process work varies."""
+    env = Environment()
+    quantum = 0.001
+
+    def worker(i):
+        for n in range(waves):
+            # Work skewed per process, then re-converge on the barrier.
+            work = ((i * 13 + n * 7) % 5) * 1e-5
+            target = (int((env.now + work) / quantum) + 1) * quantum
+            yield env.timeout(target - env.now)
+
+    for i in range(procs):
+        env.process(worker(i))
+    env.run()
+    stats = env.kernel_stats()
+    return env.now, stats["cohort_max"], stats["events_processed"]
+
+
+def deep_pending_set(timers: int = 4000, rounds: int = 25) -> int:
+    """A standing population of ``timers`` pending timeouts, each
+    re-armed as it fires: bucket insert against a deep pending set."""
+    env = Environment()
+    fired = 0
+
+    def timer(i):
+        nonlocal fired
+        delay = 0.0003 + (i % 97) * 0.00013
+        for _ in range(rounds):
+            yield env.timeout(delay)
+            fired += 1
+
+    for i in range(timers):
+        env.process(timer(i))
+    env.run()
+    return fired
+
+
+# -- benches ---------------------------------------------------------------
+
+def _bench(benchmark, fn, *args):
+    return benchmark.pedantic(fn, args=args, rounds=3, iterations=1,
+                              warmup_rounds=1)
+
+
+def test_batched_lockstep_cohorts(benchmark):
+    end, cohort_max, processed = _bench(benchmark, lockstep_cohorts)
+    assert end == pytest.approx(0.1, rel=1e-6)
+    assert cohort_max >= 500          # the whole population in one cohort
+    assert processed >= 500 * 100
+
+
+def test_batched_barrier_waves(benchmark):
+    end, cohort_max, processed = _bench(benchmark, barrier_waves)
+    assert cohort_max >= 100          # waves re-form wide cohorts
+    assert processed >= 200 * 150
+
+
+def test_batched_deep_pending_set(benchmark):
+    fired = _bench(benchmark, deep_pending_set)
+    assert fired == 4000 * 25

@@ -30,10 +30,17 @@ import sys
 import time
 
 
-def _fig6_config(quick: bool):
-    from repro.experiments.fig6_schemes import Fig6Config, quick_fig6_config
+def _fig6_config(args):
+    from repro.experiments.fig6_schemes import (
+        Fig6Config,
+        quick_fig6_config,
+        scale_fig6_config,
+    )
 
-    return quick_fig6_config() if quick else Fig6Config()
+    if getattr(args, "nodes", None):
+        return scale_fig6_config(nodes=args.nodes,
+                                 partitions=args.partitions or 10_000)
+    return quick_fig6_config() if args.quick else Fig6Config()
 
 
 def run_power(args) -> str:
@@ -79,7 +86,7 @@ def run_fig6_cmd(args) -> str:
     from repro.experiments.fig6_schemes import SCHEMES
     from repro.experiments.parallel import run_tasks
 
-    config = _fig6_config(args.quick)
+    config = _fig6_config(args)
     if args.audit:
         config = dataclasses.replace(config, audit=True)
     schemes = [args.scheme] if args.scheme else list(SCHEMES)
@@ -112,14 +119,14 @@ def run_fig6_cmd(args) -> str:
 def run_fig7_cmd(args) -> str:
     from repro.experiments import run_fig7
 
-    config = _fig6_config(args.quick) if args.quick else None
+    config = _fig6_config(args) if args.quick else None
     return run_fig7(config).to_table()
 
 
 def run_fig8_cmd(args) -> str:
     from repro.experiments import run_fig8
 
-    config = _fig6_config(args.quick) if args.quick else None
+    config = _fig6_config(args) if args.quick else None
     return run_fig8(config).to_table()
 
 
@@ -272,6 +279,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scheme",
                         choices=["physical", "logical", "physiological"],
                         help="fig6 only: run a single scheme")
+    parser.add_argument("--nodes", type=int, default=None, metavar="N",
+                        help="fig6 only: run the scale profile on an "
+                             "N-node cluster (half sources, half "
+                             "targets) instead of --quick/--full")
+    parser.add_argument("--partitions", type=int, default=None, metavar="P",
+                        help="fig6 --nodes only: logical partition count "
+                             "for the scale profile (default 10000; "
+                             "~10 table slices per warehouse)")
     parser.add_argument("--seed", type=int, default=None,
                         help="elasticity: override the config seed")
     parser.add_argument("--seeds", type=int, nargs="*", default=None,
@@ -288,6 +303,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the hottest "
                              "functions after each experiment")
+    parser.add_argument("--profile-sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        metavar="KEY",
+                        help="--profile: stat to sort by (cumulative, "
+                             "tottime, or ncalls; default cumulative)")
+    parser.add_argument("--profile-limit", type=int, default=25, metavar="N",
+                        help="--profile: number of rows to print "
+                             "(default 25)")
     args = parser.parse_args(argv)
     if args.jobs == 0:
         from repro.experiments.parallel import default_jobs
@@ -307,7 +330,8 @@ def main(argv: list[str] | None = None) -> int:
             output = COMMANDS[name](args)
             profiler.disable()
             print(output)
-            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+            stats = pstats.Stats(profiler).sort_stats(args.profile_sort)
+            stats.print_stats(args.profile_limit)
         else:
             print(COMMANDS[name](args))
         print(f"--- {name} finished in {time.time() - start:.1f}s wall\n")

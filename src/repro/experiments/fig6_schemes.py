@@ -364,6 +364,48 @@ def run_fig6_all(config: Fig6Config | None = None,
     return dict(zip(SCHEMES, results))
 
 
+def scale_fig6_config(nodes: int = 100, partitions: int = 10_000) -> Fig6Config:
+    """The 100-node sweep profile (``fig6 --nodes 100 --partitions 10000``).
+
+    The paper's companion wimpy-cluster study (arXiv:1407.0386) shows the
+    energy/performance trade-offs only emerge at node counts far beyond
+    the 4-active-node Fig. 6 run, so this profile scales *out* instead of
+    *up*: ``nodes`` workers, half of them sources and half targets, and
+    ``partitions`` logical partitions — each warehouse contributes one
+    slice of each of the ~10 TPC-C tables (8 warehouse-partitioned
+    tables + ballast + the item catalog), so ``partitions // 10``
+    warehouses carry the requested partition count.
+
+    Per-warehouse row counts are slimmed way down (the point is breadth
+    of the partition map and the 50-way parallel migration, not
+    per-warehouse depth), and the per-node buffer stays small so the
+    scale run keeps the disk-bound character of the original.
+    """
+    if nodes < 4 or nodes % 2:
+        raise ValueError(f"scale profile needs an even node count >= 4, got {nodes}")
+    if partitions < 10 * (nodes // 2):
+        raise ValueError(
+            f"need >= 10 partitions per source node ({10 * (nodes // 2)}), "
+            f"got {partitions}")
+    warehouses = max(nodes // 2, partitions // 10)
+    half = nodes // 2
+    return Fig6Config(
+        tpcc=TpccConfig(
+            warehouses=warehouses, districts_per_warehouse=2,
+            customers_per_district=3, items=25,
+            orders_per_district=2, order_lines_per_order=3,
+            pad_blob_bytes=2048,
+        ),
+        clients=max(6, nodes // 8), client_interval=0.4,
+        ballast_rows_per_warehouse=40, ballast_blob_bytes=16 * 1024,
+        node_count=nodes,
+        buffer_pages_per_node=128,
+        warmup=20.0, tail=60.0, bucket=10.0,
+        source_nodes=tuple(range(half)),
+        target_nodes=tuple(range(half, nodes)),
+    )
+
+
 def quick_fig6_config() -> Fig6Config:
     """Reduced parameters for fast runs (benches, CLI --quick, examples):
     same regime as the defaults — disk-bound hot set, ballast-weighted

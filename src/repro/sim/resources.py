@@ -6,6 +6,15 @@
 :meth:`Resource.release` when done; contention shows up as queueing
 delay on the simulated clock.
 
+The wait queue is *int-keyed* (DESIGN.md §14): each queued request's
+``(priority, seq)`` identity is interned into one dense integer key
+``priority * 2**48 + seq``, so heap entries are ``(key, request)``
+pairs whose sift comparisons resolve on a single int compare instead of
+lexicographic ``(priority, seq, Request)`` tuple walks.  Cancellation
+just flips the request's ``released`` flag and counts a tombstone
+(skipped on pop, compacted lazily once tombstones dominate — the
+policy PR 4 introduced).
+
 Every resource carries a :class:`UtilizationTracker` — a time-weighted
 integral of busy units — because the power model converts component
 utilisation into watts and the cluster monitor feeds utilisation to the
@@ -14,13 +23,20 @@ rebalancer's threshold policies.
 
 from __future__ import annotations
 
-import heapq
+import collections
 import typing
+from heapq import heapify, heappop, heappush
 
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
+
+#: Key packing for the int-keyed wait queue: ``priority * _SEQ_SPAN +
+#: seq``.  Sequence numbers are per-resource and bounded far below the
+#: span, so integer order equals lexicographic ``(priority, seq)``
+#: order for any (even negative) integer priority.
+_SEQ_SPAN = 1 << 48
 
 
 class UtilizationTracker:
@@ -72,7 +88,14 @@ class Request(Event):
     __slots__ = ("resource", "priority", "released")
 
     def __init__(self, resource: "Resource", priority: int):
-        super().__init__(resource.env)
+        # Event.__init__ inlined: requests ride the uncontended fast
+        # path by the million, and the extra call shows up.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._processed = False
+        self.defused = False
         self.resource = resource
         self.priority = priority
         self.released = False
@@ -99,11 +122,15 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self.users: set[Request] = set()
-        self._queue: list[tuple[int, int, Request]] = []
+        #: Heap of ``(key, request)`` pairs, key = priority * _SEQ_SPAN
+        #: + seq.  Keys are unique, so sift comparisons never fall
+        #: through to comparing requests.
+        self._queue: list[tuple[int, Request]] = []
         self._seq = 0
-        #: Queue entries whose request was cancelled before being granted.
-        #: They stay in the heap as tombstones (skipped by ``_dispatch``)
-        #: instead of forcing an O(n) rebuild on every cancellation.
+        #: Queue entries whose request was cancelled before being
+        #: granted.  They stay in the heap as tombstones (skipped by
+        #: ``_dispatch``) instead of forcing an O(n) rebuild on every
+        #: cancellation.
         self._cancelled = 0
         self.tracker = UtilizationTracker(env, capacity)
         #: Total completed grants, for throughput accounting.
@@ -125,15 +152,17 @@ class Resource:
         # event still travels through the kernel's zero-delay FIFO
         # (``req.succeed``), which is exactly the trip the heap-based
         # dispatch would have given it — the simulated clock cannot tell.
-        if len(self.users) < self.capacity and len(self._queue) == self._cancelled:
+        users = self.users
+        queue = self._queue
+        if len(users) < self.capacity and len(queue) == self._cancelled:
             self.env.resource_fast_grants += 1
-            self.users.add(req)
-            self.tracker.update(len(self.users))
+            users.add(req)
+            self.tracker.update(len(users))
             self.grant_count += 1
             req.succeed(req)
             return req
         self._seq += 1
-        heapq.heappush(self._queue, (priority, self._seq, req))
+        heappush(queue, (priority * _SEQ_SPAN + self._seq, req))
         self._dispatch()
         return req
 
@@ -142,9 +171,10 @@ class Resource:
         if request.released:
             return
         request.released = True
-        if request in self.users:
-            self.users.remove(request)
-            self.tracker.update(len(self.users))
+        users = self.users
+        if request in users:
+            users.remove(request)
+            self.tracker.update(len(users))
             if self._queue:
                 self._dispatch()
         else:
@@ -170,18 +200,21 @@ class Resource:
         return req
 
     def _compact(self) -> None:
-        self._queue = [entry for entry in self._queue if not entry[2].released]
-        heapq.heapify(self._queue)
+        self._queue = [entry for entry in self._queue if not entry[1].released]
+        heapify(self._queue)
         self._cancelled = 0
 
     def _dispatch(self) -> None:
-        while self._queue and len(self.users) < self.capacity:
-            _prio, _seq, req = heapq.heappop(self._queue)
+        queue = self._queue
+        users = self.users
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            req = heappop(queue)[1]
             if req.released:
                 self._cancelled -= 1
                 continue
-            self.users.add(req)
-            self.tracker.update(len(self.users))
+            users.add(req)
+            self.tracker.update(len(users))
             self.grant_count += 1
             req.succeed(req)
 
@@ -227,9 +260,9 @@ class Store:
             raise ValueError("store capacity must be positive")
         self.env = env
         self.capacity = capacity
-        self.items: list[typing.Any] = []
-        self._getters: list[StoreGet] = []
-        self._putters: list[StorePut] = []
+        self.items: collections.deque[typing.Any] = collections.deque()
+        self._getters: collections.deque[StoreGet] = collections.deque()
+        self._putters: collections.deque[StorePut] = collections.deque()
 
     def put(self, item: typing.Any) -> StorePut:
         event = StorePut(self, item)
@@ -248,16 +281,17 @@ class Store:
         # each satisfied get frees room that may admit a blocked put,
         # whose item may in turn satisfy the next waiting getter.
         items = self.items
+        putters = self._putters
+        getters = self._getters
         while True:
             progressed = False
-            while self._putters and len(items) < self.capacity:
-                put = self._putters.pop(0)
+            while putters and len(items) < self.capacity:
+                put = putters.popleft()
                 items.append(put.item)
                 put.succeed()
                 progressed = True
-            while self._getters and items:
-                get = self._getters.pop(0)
-                get.succeed(items.pop(0))
+            while getters and items:
+                getters.popleft().succeed(items.popleft())
                 progressed = True
             if not progressed:
                 return

@@ -142,6 +142,12 @@ class BufferPool:
         # against the frame's current stamp when popped, so
         # ``_pick_victim`` never scans pinned frames.
         self._unpinned: list[tuple[int, int]] = []
+        #: Heap entries invalidated since the last compaction (page
+        #: re-pinned, discarded, or evicted from under them).  They stay
+        #: in the heap as tombstones and are skipped by ``_pick_victim``;
+        #: the heap is rebuilt only once they dominate — the same lazy
+        #: policy as the resource wait queues.
+        self._stale = 0
         self._stamp = 0
         self.remote_extension: RemoteBufferExtension | None = None
         self.hits = 0
@@ -205,6 +211,10 @@ class BufferPool:
             if frame is not None:
                 self.hits += 1
                 self._frames.move_to_end(page_id)
+                if frame.pins == 0:
+                    # Re-pinning orphans the frame's eviction-candidate
+                    # heap entry (pushed on the last pin-count-zero).
+                    self._stale += 1
                 self._stamp += 1
                 frame.stamp = self._stamp
                 frame.pins += 1
@@ -268,11 +278,22 @@ class BufferPool:
             frame.dirty = True
         if frame.pins == 0:
             heapq.heappush(self._unpinned, (frame.stamp, page_id))
-            if len(self._unpinned) > max(4 * self.capacity_pages, 1024):
-                self._unpinned = [(f.stamp, pid)
-                                  for pid, f in self._frames.items()
-                                  if f.pins == 0]
-                heapq.heapify(self._unpinned)
+            if self._stale > 32 and self._stale * 2 > len(self._unpinned):
+                self._compact_unpinned()
+
+    def _compact_unpinned(self) -> None:
+        """Rebuild the candidate heap from the live unpinned frames.
+
+        Called once tombstones dominate, so the amortized cost per
+        invalidation is O(1) and the heap stays bounded by roughly one
+        entry per frame plus the tombstone allowance — long runs no
+        longer accrete stale ``(stamp, page_id)`` pairs without limit.
+        """
+        self._unpinned = [(frame.stamp, page_id)
+                          for page_id, frame in self._frames.items()
+                          if frame.pins == 0]
+        heapq.heapify(self._unpinned)
+        self._stale = 0
 
     def _make_room(self, breakdown: CostBreakdown | None, priority: int):
         """Generator: evict until one frame is free.
@@ -313,6 +334,7 @@ class BufferPool:
             frame = self._frames.get(page_id)
             if frame is None or frame.stamp != stamp or frame.pins:
                 heapq.heappop(heap)
+                self._stale -= 1
                 continue
             heapq.heappop(heap)
             return page_id
@@ -352,6 +374,9 @@ class BufferPool:
             raise RuntimeError(f"discarding pinned page {page_id}")
         if frame is not None:
             del self._frames[page_id]
+            # The dropped frame was unpinned, so its eviction-candidate
+            # heap entry is now a tombstone.
+            self._stale += 1
         latch = self._latches.get(page_id)
         if latch is not None and not latch.users and not latch.queue_length:
             del self._latches[page_id]

@@ -1,0 +1,97 @@
+"""Tests for scripts/check_bench_regression.py and the fig6 scale profile.
+
+The bench gate is CI's only defence against a change eating back the
+kernel work, and the fingerprint rule is its only defence against
+*environment drift* masquerading as a regression (PR 8 had unchanged
+code breach 27–49% purely from a machine change) — both behaviours are
+pinned here.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parents[2]
+           / "scripts" / "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _bench_json(means: dict[str, float], fingerprint: dict | None = None) -> dict:
+    data = {
+        "machine_info": {
+            "python_version": "3.11.7",
+            "system": "Linux",
+            "machine": "x86_64",
+            "cpu": {"count": 1},
+        },
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ],
+    }
+    if fingerprint is not None:
+        data["environment_fingerprint"] = fingerprint
+    return data
+
+
+def _write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_regression_fails_on_matching_fingerprint(tmp_path):
+    baseline = _write(tmp_path, "base.json", _bench_json({"t": 1.0}))
+    current = _write(tmp_path, "cur.json", _bench_json({"t": 1.5}))
+    assert gate.main([baseline, current]) == 1
+
+
+def test_within_threshold_passes(tmp_path):
+    baseline = _write(tmp_path, "base.json", _bench_json({"t": 1.0}))
+    current = _write(tmp_path, "cur.json", _bench_json({"t": 1.2}))
+    assert gate.main([baseline, current]) == 0
+
+
+def test_regression_only_warns_on_fingerprint_mismatch(tmp_path):
+    other = {"python": "3.12.0", "platform": "Linux-x86_64", "cpu_count": 8}
+    baseline = _write(tmp_path, "base.json",
+                      _bench_json({"t": 1.0}, fingerprint=other))
+    current = _write(tmp_path, "cur.json", _bench_json({"t": 10.0}))
+    assert gate.main([baseline, current]) == 0
+
+
+def test_stamp_writes_fingerprint(tmp_path):
+    path = _write(tmp_path, "base.json", _bench_json({"t": 1.0}))
+    assert gate.main(["--stamp", path]) == 0
+    stamped = json.loads(pathlib.Path(path).read_text())
+    assert stamped["environment_fingerprint"] == {
+        "python": "3.11.7", "platform": "Linux-x86_64", "cpu_count": 1,
+    }
+
+
+def test_committed_baselines_are_stamped():
+    baselines = (_SCRIPT.parent.parent / "benchmarks" / "baselines").glob("*.json")
+    for path in baselines:
+        data = json.loads(path.read_text())
+        fingerprint = data.get("environment_fingerprint")
+        assert fingerprint, f"{path.name} is missing its environment fingerprint"
+        assert set(fingerprint) == set(gate.FINGERPRINT_KEYS)
+
+
+def test_scale_profile_shape():
+    from repro.experiments.fig6_schemes import scale_fig6_config
+
+    config = scale_fig6_config(nodes=100, partitions=10_000)
+    assert config.node_count == 100
+    assert len(config.source_nodes) == len(config.target_nodes) == 50
+    assert not set(config.source_nodes) & set(config.target_nodes)
+    # ~10 per-warehouse table slices carry the requested partition count.
+    assert config.tpcc.warehouses == 1000
+    with pytest.raises(ValueError):
+        scale_fig6_config(nodes=7)
+    with pytest.raises(ValueError):
+        scale_fig6_config(nodes=100, partitions=100)

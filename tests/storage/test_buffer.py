@@ -220,6 +220,34 @@ def test_discard_pinned_raises():
         pool.discard(1)
 
 
+def test_unpinned_heap_stays_bounded():
+    """10k pin/unpin cycles must not grow the eviction-candidate heap.
+
+    Every re-pin orphans the frame's ``(stamp, page_id)`` heap entry;
+    without tombstone-counted compaction the heap accretes one dead
+    entry per cycle and a long run drags a million-entry heap around.
+    The bound below allows one live entry per frame plus the tombstone
+    allowance the lazy policy tolerates before compacting.
+    """
+    capacity = 8
+    env, pool, _disk = make_pool(capacity)
+
+    def work():
+        for cycle in range(10_000):
+            page_id = cycle % capacity   # all hits after the first lap
+            yield from pool.fetch(page_id)
+            pool.unpin(page_id, dirty=False)
+
+    run(env, work())
+    assert pool.hits + pool.misses == 10_000
+    # Live unpinned frames <= capacity; tombstones are compacted once
+    # they dominate, so the heap can never hold more than one live
+    # entry per frame plus an equal number of tombstones (plus the
+    # small fixed allowance below which compaction never triggers).
+    assert len(pool._unpinned) <= 2 * capacity + 33
+    assert pool._stale <= len(pool._unpinned)
+
+
 def test_hit_ratio():
     env, pool, _disk = make_pool()
 
