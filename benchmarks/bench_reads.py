@@ -1,0 +1,60 @@
+"""Bench: the read-scaling comparison — replica snapshot reads, the
+distributed cache, and materialized views against the single-primary
+baseline, same seed and fault schedule in both modes.
+
+Quick scale runs the CI smoke configuration (four minutes of
+read-mostly open-loop traffic per mode); full scale runs the
+twenty-minute acceptance configuration.  Both gate on the experiment's
+invariants — request-ledger conservation, a nonzero replica / cache /
+view serve count, bit-for-bit view checkpoints — and on the headline
+claim: replica mode completes more reads per joule than the baseline.
+"""
+
+import dataclasses
+
+from repro.experiments.read_scaling import (
+    compare_read_scaling,
+    full_read_scaling_config,
+    quick_read_scaling_config,
+    render_read_scaling,
+    run_read_scaling,
+)
+
+
+def _both_modes(config):
+    return [run_read_scaling(dataclasses.replace(config, mode=mode))
+            for mode in ("replica", "primary")]
+
+
+def test_read_scaling(benchmark, bench_scale):
+    if bench_scale == "full":
+        config = full_read_scaling_config()
+    else:
+        config = quick_read_scaling_config()
+    results = benchmark.pedantic(
+        _both_modes, args=(config,), rounds=1, iterations=1
+    )
+    print()
+    print(render_read_scaling(results))
+
+    for result in results:
+        assert result.ok, result.to_table()
+    assert compare_read_scaling(results) == []
+
+    replica, primary = results
+    assert replica.offered >= config.min_requests
+    benchmark.extra_info["offered_requests"] = replica.offered
+    benchmark.extra_info["reads_completed"] = replica.reads_completed
+    benchmark.extra_info["replica_reads_per_kilojoule"] = round(
+        replica.reads_per_kilojoule, 1
+    )
+    benchmark.extra_info["primary_reads_per_kilojoule"] = round(
+        primary.reads_per_kilojoule, 1
+    )
+    benchmark.extra_info["read_scaling_gain"] = round(
+        replica.reads_per_kilojoule
+        / max(primary.reads_per_kilojoule, 1e-9), 3
+    )
+    benchmark.extra_info["view_checkpoints_matched"] = (
+        replica.view_checkpoints_matched
+    )

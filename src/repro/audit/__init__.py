@@ -3,7 +3,9 @@
 Record every transaction's operations during a run
 (:mod:`repro.audit.history`), then prove isolation held
 (:mod:`repro.audit.checkers`): Adya anomaly classes, snapshot-read
-consistency, replica convergence, and partition-table coverage.
+consistency, replica convergence, partition-table coverage, and the
+read-tier properties (replica staleness bounds, cache coherence,
+materialized-view checkpoint equivalence).
 """
 
 from repro.audit.checkers import (
@@ -12,11 +14,14 @@ from repro.audit.checkers import (
     History,
     audit_history,
     check_aborted_reads,
+    check_cache_coherence,
     check_intermediate_reads,
     check_lost_updates,
     check_partition_coverage,
     check_replica_convergence,
     check_snapshot_reads,
+    check_staleness_bounds,
+    check_view_checkpoints,
     check_write_cycles,
 )
 from repro.audit.history import (
@@ -24,6 +29,7 @@ from repro.audit.history import (
     CoverageEntry,
     HistoryRecorder,
     Op,
+    ViewCheckpoint,
 )
 
 __all__ = [
@@ -34,12 +40,16 @@ __all__ = [
     "History",
     "HistoryRecorder",
     "Op",
+    "ViewCheckpoint",
     "audit_history",
     "check_aborted_reads",
+    "check_cache_coherence",
     "check_intermediate_reads",
     "check_lost_updates",
     "check_partition_coverage",
     "check_replica_convergence",
     "check_snapshot_reads",
+    "check_staleness_bounds",
+    "check_view_checkpoints",
     "check_write_cycles",
 ]

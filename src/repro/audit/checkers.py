@@ -42,6 +42,7 @@ from repro.audit.history import (
     CoverageCheckpoint,
     HistoryRecorder,
     Op,
+    ViewCheckpoint,
 )
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -74,6 +75,11 @@ class History:
         self.ops = list(ops)
         self.begin_ts: dict[int, int] = {}
         self.commit_ts: dict[int, int] = {}
+        #: Wall-clock (simulated) instant each commit *finished* — when
+        #: its synchronous side effects (replica shipping, cache
+        #: write-through, view feeding) were all done.  The coherence
+        #: checker needs completion times, not just commit stamps.
+        self.commit_done: dict[int, float] = {}
         self.aborted: set[int] = set()
         self.reads: list[Op] = []
         self.writes: list[Op] = []
@@ -82,6 +88,7 @@ class History:
                 self.begin_ts[op.txn_id] = op.ts
             elif op.kind == COMMIT:
                 self.commit_ts[op.txn_id] = op.ts
+                self.commit_done[op.txn_id] = op.t1
             elif op.kind == ABORT:
                 self.aborted.add(op.txn_id)
             elif op.kind == READ:
@@ -305,6 +312,11 @@ def check_snapshot_reads(history: History) -> list[Anomaly]:
     anomalies = []
     timeline = history.key_timeline()
     for read in history.reads:
+        if read.origin == "cache":
+            # Cache hits carry a filler's stamp, not a version stamp:
+            # they are judged by check_cache_coherence instead (a stale
+            # hit must be flagged as exactly that, once).
+            continue
         begin = history.begin_ts.get(read.txn_id)
         if begin is None:
             continue  # begin fell out of the ring: cannot judge
@@ -387,6 +399,150 @@ def check_snapshot_reads(history: History) -> list[Anomaly]:
                     ),
                 ))
                 break
+    return anomalies
+
+
+# -- read-tier checkers ------------------------------------------------------
+
+def check_staleness_bounds(history: History,
+                           budget: float) -> list[Anomaly]:
+    """Replica reads must stay within the configured lag budget: every
+    read the tier served from a replica carries the primary's
+    replication lag at serve time, and the router promised to bounce
+    anything over ``budget``.  A recorded lag above it means the bound
+    was violated, not merely approached."""
+    anomalies = []
+    for read in history.reads:
+        if read.origin != "replica" or read.lag is None:
+            continue
+        if read.lag > budget:
+            anomalies.append(Anomaly(
+                kind="staleness-bound",
+                table=read.table, key=read.key,
+                txns=(read.txn_id,),
+                description=(
+                    f"txn {read.txn_id} was served from a replica lagging "
+                    f"{read.lag} behind the primary (budget {budget})"
+                ),
+            ))
+    return anomalies
+
+
+def check_cache_coherence(history: History,
+                          invalidation_window: float = 0.0) -> list[Anomaly]:
+    """No stale cache hit beyond the invalidation window: once a
+    committed write to a key has *fully completed* (its commit
+    acknowledged — which includes the write-through/invalidation pass)
+    at least ``invalidation_window`` before a cache read started, that
+    read must not observe any older version of the key.
+
+    Two entry shapes exist.  A write-through entry carries its writer's
+    identity and commit stamp, so it is judged by stamps like an SI
+    read.  A cache-aside fill carries no writer (the filler's begin is
+    its conservative stamp), so it is judged by *value* against the
+    newest committed event the snapshot must see.
+    """
+    anomalies = []
+    timeline = history.key_timeline()
+    for read in history.reads:
+        if read.origin != "cache":
+            continue
+        begin = history.begin_ts.get(read.txn_id)
+        if begin is None:
+            continue
+        events = timeline.get((read.table, read.key), ())
+
+        def completed(txn_id: int) -> bool:
+            done = history.commit_done.get(txn_id)
+            return (done is not None
+                    and done <= read.t0 - invalidation_window)
+
+        if read.writer_txn is not None and history.known(read.writer_txn):
+            v_ts = read.version_ts
+            if v_ts is not None and v_ts > begin:
+                anomalies.append(Anomaly(
+                    kind="cache-stale-hit",
+                    table=read.table, key=read.key,
+                    txns=(read.txn_id, read.writer_txn),
+                    description=(
+                        f"txn {read.txn_id} (snapshot {begin}) got a cache "
+                        f"hit on a version stamped {v_ts} — newer than its "
+                        f"snapshot"
+                    ),
+                ))
+                continue
+            for ts, effect, txn_id, _value in events:
+                if (v_ts is not None and v_ts < ts <= begin
+                        and completed(txn_id)):
+                    anomalies.append(Anomaly(
+                        kind="cache-stale-hit",
+                        table=read.table, key=read.key,
+                        txns=(read.txn_id, txn_id),
+                        description=(
+                            f"txn {read.txn_id} (snapshot {begin}) got a "
+                            f"cache hit stamped {v_ts}, but txn {txn_id} "
+                            f"committed a {effect} at {ts} <= snapshot and "
+                            f"completed before the read — the invalidation "
+                            f"was missed"
+                        ),
+                    ))
+                    break
+            continue
+        # Fill entry: no trustworthy stamp — judge by value against the
+        # newest completed committed event visible to the snapshot.
+        newest = None
+        for event in events:
+            if event[0] <= begin and completed(event[2]):
+                newest = event
+        if newest is None:
+            continue
+        ts, effect, txn_id, value = newest
+        if effect == "delete" or (value is not None
+                                  and read.value != value):
+            anomalies.append(Anomaly(
+                kind="cache-stale-hit",
+                table=read.table, key=read.key,
+                txns=(read.txn_id, txn_id),
+                description=(
+                    f"txn {read.txn_id} (snapshot {begin}) got cached value "
+                    f"{read.value!r}, but txn {txn_id} committed "
+                    f"{'a delete' if effect == 'delete' else repr(value)} "
+                    f"at {ts} <= snapshot and completed before the read"
+                ),
+            ))
+    return anomalies
+
+
+def check_view_checkpoints(
+        checkpoints: typing.Sequence[ViewCheckpoint],
+        lag_bound: float | None = None) -> list[Anomaly]:
+    """Materialized views: at every quiesced checkpoint the incremental
+    state must be bit-identical to a from-scratch recompute
+    (**view-divergence** otherwise), and — when a bound is configured —
+    the observed fold lag must stay inside it (**view-lag**)."""
+    anomalies = []
+    for checkpoint in checkpoints:
+        if not checkpoint.matches:
+            anomalies.append(Anomaly(
+                kind="view-divergence",
+                table=checkpoint.view,
+                description=(
+                    f"t={checkpoint.t:.1f} [{checkpoint.label}]: "
+                    f"incremental fingerprint "
+                    f"{checkpoint.incremental_fingerprint[:12]}… != "
+                    f"recomputed {checkpoint.recomputed_fingerprint[:12]}…"
+                ),
+            ))
+        if lag_bound is not None and checkpoint.lag > lag_bound:
+            anomalies.append(Anomaly(
+                kind="view-lag",
+                table=checkpoint.view,
+                description=(
+                    f"t={checkpoint.t:.1f} [{checkpoint.label}]: view lag "
+                    f"{checkpoint.lag:.3f}s exceeds the bound "
+                    f"{lag_bound:.3f}s"
+                ),
+            ))
     return anomalies
 
 
@@ -570,10 +726,20 @@ class AuditReport:
 
 
 def audit_history(recorder: HistoryRecorder,
-                  cluster: "Cluster | None" = None) -> AuditReport:
+                  cluster: "Cluster | None" = None, *,
+                  staleness_budget: float | None = None,
+                  invalidation_window: float = 0.0,
+                  view_lag_bound: float | None = None) -> AuditReport:
     """Run every checker over a recorder's history.  ``cluster``, when
     given, additionally enables the replica-convergence comparison
-    (it needs live catalog state, not just the history)."""
+    (it needs live catalog state, not just the history).
+
+    The read-tier bounds default to whatever the recorder carries
+    (a run that installed a :class:`repro.reads.ReadTier` sets them);
+    explicit keyword arguments override.  Cache coherence and view
+    equivalence always run — over zero cache reads and zero view
+    checkpoints they are vacuous, so plain runs are unaffected.
+    """
     history = History.from_recorder(recorder)
     anomalies: list[Anomaly] = []
     anomalies += check_aborted_reads(history)
@@ -582,6 +748,15 @@ def audit_history(recorder: HistoryRecorder,
     anomalies += check_write_cycles(history)
     anomalies += check_snapshot_reads(history)
     anomalies += check_partition_coverage(recorder.coverage)
+    if staleness_budget is None:
+        staleness_budget = getattr(recorder, "staleness_budget", None)
+    if staleness_budget is not None:
+        anomalies += check_staleness_bounds(history, staleness_budget)
+    anomalies += check_cache_coherence(history, invalidation_window)
+    if view_lag_bound is None:
+        view_lag_bound = getattr(recorder, "view_lag_bound", None)
+    anomalies += check_view_checkpoints(
+        getattr(recorder, "view_checkpoints", ()), view_lag_bound)
     if cluster is not None and cluster.catalog.replica_sets:
         anomalies += check_replica_convergence(cluster)
     return AuditReport(anomalies=anomalies, stats=recorder.stats())

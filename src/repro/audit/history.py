@@ -84,6 +84,15 @@ class Op:
     t1: float = 0.0
     #: Acks: how many attempts the client spent.
     attempts: int | None = None
+    #: Reads: which copy answered — ``None`` for the primary path,
+    #: ``"replica"`` for a segment replica's row state, ``"cache"`` for
+    #: the distributed cache.  The staleness and coherence checkers
+    #: select on this.
+    origin: str | None = None
+    #: Replica reads: the primary's replication lag (WAL records not
+    #: yet acked by the serving holder) at serve time — what the
+    #: staleness-bound checker compares against the budget.
+    lag: float | None = None
 
     # -- constructors for synthetic histories (property tests) -------------
 
@@ -94,10 +103,11 @@ class Op:
     @classmethod
     def read(cls, txn_id: int, table: str, key: typing.Any,
              value: tuple | None, writer_txn: int | None = None,
-             version_ts: int | None = None, at: float = 0.0) -> "Op":
+             version_ts: int | None = None, at: float = 0.0,
+             origin: str | None = None, lag: float | None = None) -> "Op":
         return cls(0, READ, txn_id, table=table, key=key, value=value,
                    writer_txn=writer_txn, version_ts=version_ts,
-                   t0=at, t1=at)
+                   t0=at, t1=at, origin=origin, lag=lag)
 
     @classmethod
     def write(cls, txn_id: int, subkind: str, table: str, key: typing.Any,
@@ -137,6 +147,24 @@ class CoverageEntry:
     moving: bool
 
 
+@dataclasses.dataclass
+class ViewCheckpoint:
+    """One materialized-view equivalence checkpoint: the incremental
+    state's fingerprint against a from-scratch recompute, taken while
+    the cluster was quiesced, plus the view lag at that instant."""
+
+    t: float
+    label: str
+    view: str
+    lag: float
+    incremental_fingerprint: str
+    recomputed_fingerprint: str
+
+    @property
+    def matches(self) -> bool:
+        return self.incremental_fingerprint == self.recomputed_fingerprint
+
+
 class HistoryRecorder:
     """Ring-buffered operation history plus coverage checkpoints.
 
@@ -173,6 +201,12 @@ class HistoryRecorder:
         self.coverage_dropped = 0
         self._cleared_ops = 0
         self.windows_reset = 0
+        #: Materialized-view equivalence checkpoints (read tier runs).
+        self.view_checkpoints: list[ViewCheckpoint] = []
+        #: Read-tier audit bounds, set by the run that knows its
+        #: configuration; ``None`` disables the respective checker.
+        self.staleness_budget: float | None = None
+        self.view_lag_bound: float | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -209,10 +243,42 @@ class HistoryRecorder:
         ))
 
     def record_read_miss(self, txn: "Transaction", table: str,
-                         key: typing.Any, t0: float, t1: float) -> None:
-        """A point read that found nothing on any candidate node."""
+                         key: typing.Any, t0: float, t1: float,
+                         origin: str | None = None) -> None:
+        """A point read that found nothing on any candidate node (or,
+        with ``origin="replica"``, a definitive miss in a replica's
+        row state)."""
         self._push(Op(0, READ, txn.txn_id, table=table, key=key,
-                      value=None, t0=t0, t1=t1))
+                      value=None, t0=t0, t1=t1, origin=origin))
+
+    def record_replica_read(self, txn: "Transaction", table: str,
+                            key: typing.Any, value: tuple,
+                            writer_txn: int | None, version_ts: int | None,
+                            t0: float, t1: float,
+                            lag: float | None = None) -> None:
+        """A point read answered from a segment replica's row state.
+        Carries the real writer identity and commit stamp, so it takes
+        part in the snapshot-isolation proof like any primary read —
+        plus the replication lag for the staleness-bound checker."""
+        self._push(Op(
+            0, READ, txn.txn_id, table=table, key=key, value=tuple(value),
+            writer_txn=writer_txn, version_ts=version_ts,
+            t0=t0, t1=t1, origin="replica", lag=lag,
+        ))
+
+    def record_cache_hit(self, txn: "Transaction", table: str,
+                         key: typing.Any, value: tuple,
+                         writer_txn: int | None, version_ts: int | None,
+                         t0: float, t1: float) -> None:
+        """A point read answered by the distributed cache.  A filled
+        entry has no writer identity (``writer_txn is None`` and the
+        filler's begin as ``version_ts``), so cache reads are audited
+        by the coherence checker, not the SI checker."""
+        self._push(Op(
+            0, READ, txn.txn_id, table=table, key=key, value=tuple(value),
+            writer_txn=writer_txn, version_ts=version_ts,
+            t0=t0, t1=t1, origin="cache",
+        ))
 
     def record_write(self, txn: "Transaction", subkind: str, table: str,
                      key: typing.Any, value: tuple | None,
@@ -274,6 +340,19 @@ class HistoryRecorder:
             self.coverage_dropped += 1
         return checkpoint
 
+    # -- view checkpoints ---------------------------------------------------
+
+    def record_view_checkpoint(self, now: float, label: str, view: str,
+                               lag: float, incremental: str,
+                               recomputed: str) -> ViewCheckpoint:
+        checkpoint = ViewCheckpoint(
+            t=now, label=label, view=view, lag=lag,
+            incremental_fingerprint=incremental,
+            recomputed_fingerprint=recomputed,
+        )
+        self.view_checkpoints.append(checkpoint)
+        return checkpoint
+
     # -- windowed audits ---------------------------------------------------
 
     def reset_window(self) -> dict[str, int]:
@@ -293,6 +372,7 @@ class HistoryRecorder:
         self._cleared_ops += len(self.ops)
         self.ops.clear()
         self.coverage.clear()
+        self.view_checkpoints.clear()
         self.windows_reset += 1
         return summary
 
@@ -313,6 +393,7 @@ class HistoryRecorder:
             "coverage_deduped": self.coverage_deduped,
             "coverage_dropped": self.coverage_dropped,
             "windows_reset": self.windows_reset,
+            "view_checkpoints": len(self.view_checkpoints),
         }
         for kind in (BEGIN, READ, WRITE, COMMIT, ABORT, ACK):
             out[kind] = self.counts.get(kind, 0)

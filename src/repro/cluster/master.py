@@ -56,6 +56,11 @@ class MasterNode:
         self.catalog = catalog
         self.gpt = GlobalPartitionTable()
         self.queries_planned = 0
+        #: Optional read-scaling tier (:class:`repro.reads.ReadTier`).
+        #: When installed, declared-read-only transactions are offered
+        #: to it first; a NOT_SERVED verdict falls through to the
+        #: primary path below, so routing stays correct either way.
+        self.read_tier = None
 
     @property
     def txns(self):
@@ -164,6 +169,14 @@ class MasterNode:
         """
         from repro.cluster.worker import RecordNotHereError
 
+        tier = self.read_tier
+        if (tier is not None and txn is not None
+                and getattr(txn, "declared_read_only", False)):
+            served = yield from tier.read_point(table, key, txn, breakdown,
+                                               priority)
+            if served is not tier.NOT_SERVED:
+                return served
+
         def action(worker, partition):
             result = yield from worker.read_record(
                 partition, key, txn, breakdown, cc, priority
@@ -183,6 +196,10 @@ class MasterNode:
             if history is not None:
                 history.record_read_miss(txn, table, key, t0, self.env.now)
             return None
+        if tier is not None:
+            # Cache-aside: the bounced read-only transaction seeds the
+            # cache with what the primary answered.
+            tier.note_primary_read(table, key, result, txn)
         return result
 
     def insert(self, table: str, values: typing.Sequence, txn: Transaction,
@@ -279,6 +296,13 @@ class MasterNode:
         key_range = KeyRange(lo, hi)
         if txn is not None:
             txn.require_active()
+        tier = self.read_tier
+        if (tier is not None and txn is not None
+                and getattr(txn, "declared_read_only", False)):
+            served = yield from tier.read_range(table, lo, hi, txn,
+                                                breakdown, priority, limit)
+            if served is not tier.NOT_SERVED:
+                return served
         schema = self.catalog.table(table).schema
         by_key: dict[typing.Any, tuple] = {}
         for location in self.gpt.locate_range(table, key_range):

@@ -121,6 +121,9 @@ class WorkerNode:
         #: (:mod:`repro.txn.checkpoint` replaces the whole dict each
         #: checkpoint, so memory stays bounded on endurance runs).
         self.checkpoint_images: dict[int, typing.Any] = {}
+        #: Reads answered from segment replicas hosted here (the read
+        #: tier dispatches them; the count feeds ``metrics.report``).
+        self.replica_reads_served = 0
 
     @staticmethod
     def _assign_disk_roles(disks: typing.Sequence[Disk]) -> tuple[list[Disk], Disk]:
@@ -276,6 +279,21 @@ class WorkerNode:
         if isinstance(target, Forwarding):
             raise SegmentMovedError(target.segment_id, target.target_node_id)
         return target
+
+    def serve_replica_read(self, priority: int = 0):
+        """Generator: answer one point read from a replica's row state
+        hosted on this node (an index probe into the in-memory map —
+        no data disk touched, which is the read tier's whole case)."""
+        yield from self.cpu.execute(specs.CPU_INDEX_SECONDS_PER_OP, priority)
+        self.replica_reads_served += 1
+
+    def serve_replica_range(self, entries: int, priority: int = 0):
+        """Generator: answer a range read of ``entries`` rows from a
+        replica's row state hosted on this node."""
+        yield from self.cpu.execute(
+            max(entries, 1) * specs.CPU_INDEX_SECONDS_PER_OP, priority
+        )
+        self.replica_reads_served += 1
 
     def read_record(self, partition: "Partition", key: typing.Any,
                     txn: Transaction, breakdown: CostBreakdown | None = None,

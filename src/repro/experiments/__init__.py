@@ -23,6 +23,10 @@ from repro.experiments.chaos_moves import (
 )
 from repro.experiments.endurance import EnduranceConfig, run_endurance
 from repro.experiments.elasticity import ElasticityConfig, run_elasticity
+from repro.experiments.read_scaling import (
+    ReadScalingConfig,
+    run_read_scaling,
+)
 from repro.experiments.torture import TortureConfig, run_torture
 
 __all__ = [
@@ -45,8 +49,10 @@ __all__ = [
     "run_elasticity",
     "run_endurance",
     "run_power_validation",
+    "run_read_scaling",
     "run_scale_in",
     "run_torture",
+    "ReadScalingConfig",
     "ScaleInConfig",
     "TortureConfig",
 ]

@@ -16,6 +16,7 @@ Usage::
     python -m repro.experiments chaos --seeds 0 1 2
     python -m repro.experiments endurance    # extension: audited endurance run
     python -m repro.experiments elasticity   # extension: diurnal traffic + autoscaler
+    python -m repro.experiments read-scaling # extension: replica/cache/view read tier
     python -m repro.experiments torture      # extension: gray-failure torture run
     python -m repro.experiments all          # everything (long)
 
@@ -219,6 +220,41 @@ def run_elasticity_cmd(args) -> str:
     return out
 
 
+def run_read_scaling_cmd(args) -> str:
+    import dataclasses
+
+    from repro.experiments.read_scaling import (
+        compare_read_scaling,
+        full_read_scaling_config,
+        quick_read_scaling_config,
+        render_read_scaling,
+        run_read_scaling,
+    )
+    from repro.experiments.parallel import run_tasks
+
+    config = quick_read_scaling_config() if args.quick \
+        else full_read_scaling_config()
+    if args.audit:
+        config = dataclasses.replace(config, audit=True)
+    seeds = args.seeds if args.seeds else [config.seed]
+    parts = []
+    failed = False
+    for seed in seeds:
+        results = run_tasks(
+            [(run_read_scaling,
+              (dataclasses.replace(config, mode=mode, seed=seed),), {})
+             for mode in ("replica", "primary")],
+            jobs=args.jobs,
+        )
+        parts.append(render_read_scaling(results))
+        failed = (failed or any(not result.ok for result in results)
+                  or bool(compare_read_scaling(results)))
+    out = "\n\n".join(parts)
+    if failed:
+        raise SystemExit(out)
+    return out
+
+
 def run_torture_cmd(args) -> str:
     import dataclasses
 
@@ -259,6 +295,7 @@ COMMANDS = {
     "chaos": run_chaos_cmd,
     "endurance": run_endurance_cmd,
     "elasticity": run_elasticity_cmd,
+    "read-scaling": run_read_scaling_cmd,
     "torture": run_torture_cmd,
 }
 
@@ -290,7 +327,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="elasticity: override the config seed")
     parser.add_argument("--seeds", type=int, nargs="*", default=None,
-                        help="chaos/endurance/torture: explicit seeds "
+                        help="chaos/endurance/torture/read-scaling: "
+                             "explicit seeds "
                              "(chaos default: 0..2 quick, 0..9 full)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for sweep experiments "

@@ -34,6 +34,7 @@ from repro.hardware.disk import DiskFailedError
 from repro.hardware.network import LinkDownError
 from repro.ha.placement import PlacementPolicy
 from repro.storage.checksum import IntegrityError
+from repro.txn.manager import TxnState
 from repro.txn.wal import LOG_BLOCK_BYTES, LOG_RECORD_HEADER_BYTES, LogManager
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -58,12 +59,38 @@ class SegmentReplica:
     #: Missed at least one shipment (holder was unreachable); a stale
     #: replica must never be promoted and is dropped by re-replication.
     stale: bool = False
+    #: Still receiving its base image.  The replica is registered in
+    #: its set *before* the image crosses the wire so that commits
+    #: landing mid-seed ship to it like any other — otherwise every
+    #: commit inside the seeding window would be missing from the
+    #: replica forever while later shipments advance the replay
+    #: horizon straight past the gap.  Until the flag clears the
+    #: replica is neither promotable nor readable.
+    seeding: bool = False
     bytes_shipped: int = 0
     #: Highest *primary-WAL* LSN this replica has durably acknowledged
     #: (seeding covers everything committed before it; each shipped
     #: commit advances it).  The checkpoint manager's recycling horizon
     #: never passes an un-acked record.
     acked_lsn: int = 0
+    #: Highest commit timestamp folded into :attr:`rows` — the replica's
+    #: replay horizon.  A snapshot read at ``begin_ts <= replay_horizon``
+    #: (and below the transaction manager's safe read horizon) sees
+    #: exactly the committed state the primary would have served.
+    replay_horizon: int = 0
+    #: Materialized row state, maintained incrementally at ship time so
+    #: snapshot reads never replay the log: key -> ``(values,
+    #: writer_txn, commit_ts)``; deletes keep a tombstone (``values`` is
+    #: None) so an old-snapshot read bounces to the primary instead of
+    #: reporting a false miss.
+    rows: dict = dataclasses.field(default_factory=dict)
+    #: Timestamp the base image was seeded at.  Keys deleted *before*
+    #: seeding are simply absent from :attr:`rows`, so a snapshot older
+    #: than the seed cannot distinguish "never existed" from "deleted
+    #: after my snapshot" — such reads bounce to the primary.
+    base_ts: int = 0
+    #: Snapshot reads this replica served (read-scaling accounting).
+    reads_served: int = 0
 
 
 class ReplicaSet:
@@ -78,7 +105,8 @@ class ReplicaSet:
     def live_replicas(self, cluster: "Cluster") -> list[SegmentReplica]:
         return [
             r for r in self.replicas
-            if not r.stale and cluster.worker(r.holder_node_id).is_serving
+            if not r.stale and not r.seeding
+            and cluster.worker(r.holder_node_id).is_serving
         ]
 
     def best_replica(self, cluster: "Cluster") -> SegmentReplica | None:
@@ -110,10 +138,22 @@ class ReplicationManager:
         self.policy = policy or PlacementPolicy(cluster)
         #: txn_id -> [(partition_id, record)] buffered until commit.
         self._pending: dict[int, list[tuple[int, "LogRecord"]]] = {}
+        #: txn_id -> [(replica, row-undo)] for replicas that already hold
+        #: this transaction's flushed commit marker while ``ship_commit``
+        #: is still in flight to the rest.  A crash-abort arriving in
+        #: that window must retract the marker (append an abort record,
+        #: restore the row map), or promotion would replay a transaction
+        #: the primary rolled back — the aborted client retries, and the
+        #: retry then double-applies on the promoted copy.
+        self._shipped_inflight: dict[
+            int, list[tuple[SegmentReplica, dict]]] = {}
         self.commits_shipped = 0
         self.records_shipped = 0
         self.bytes_shipped = 0
         self.ship_failures = 0
+        #: Commit markers retracted from replica logs by a crash-abort
+        #: that raced ``ship_commit``.
+        self.commits_retracted = 0
         #: Corrupt records caught at a trust boundary (shipment or
         #: replica-log compaction) instead of propagating to a replica.
         self.integrity_failures = 0
@@ -144,6 +184,22 @@ class ReplicationManager:
 
     def _drop_pending(self, txn: "Transaction") -> None:
         self._pending.pop(txn.txn_id, None)
+        # Crash-abort raced a mid-flight ship: some replicas already
+        # flushed this transaction's commit marker.  Mirror the local
+        # WAL rule — the abort supersedes the commit — on every copy
+        # that has the marker, and unwind the folded row state, so a
+        # later promotion cannot resurrect the rolled-back transaction.
+        shipped = self._shipped_inflight.pop(txn.txn_id, None)
+        if not shipped:
+            return
+        for replica, undo in shipped:
+            replica.log.append(txn.txn_id, "abort")
+            for key, prev in undo.items():
+                if prev is None:
+                    replica.rows.pop(key, None)
+                else:
+                    replica.rows[key] = prev
+            self.commits_retracted += 1
 
     # -- commit-time shipping ------------------------------------------------
 
@@ -180,6 +236,12 @@ class ReplicationManager:
                 sum(r.nbytes for r in records) + LOG_RECORD_HEADER_BYTES
             )
             for replica in replica_set.replicas:
+                # A crash-abort may land while this generator is parked
+                # on any of the yields below; once the transaction is no
+                # longer active, stop shipping — replicas that already
+                # hold the marker were retracted by ``_drop_pending``.
+                if txn.state is not TxnState.ACTIVE:
+                    return
                 holder = self.cluster.worker(replica.holder_node_id)
                 if replica.stale:
                     continue
@@ -195,6 +257,11 @@ class ReplicationManager:
                     replica.stale = True
                     self.ship_failures += 1
                     continue
+                if txn.state is not TxnState.ACTIVE:
+                    # Aborted while the bytes were in flight: the marker
+                    # was never appended here, so there is nothing to
+                    # retract — just stop.
+                    return
                 if not holder.is_serving:
                     # Crashed while the bytes were in flight.
                     replica.stale = True
@@ -212,14 +279,57 @@ class ReplicationManager:
                     replica.stale = True
                     self.ship_failures += 1
                     continue
+                if txn.state is not TxnState.ACTIVE:
+                    # Aborted during the marker flush — after the append
+                    # but before this replica was registered in
+                    # ``_shipped_inflight``, so ``_drop_pending`` could
+                    # not see it.  Retract here: the abort record
+                    # supersedes the marker in the replay scan, and the
+                    # row map was never folded.
+                    replica.log.append(txn.txn_id, "abort")
+                    self.commits_retracted += 1
+                    return
                 replica.bytes_shipped += payload_bytes
                 replica.acked_lsn = max(replica.acked_lsn,
                                         records[-1].lsn)
+                undo = self._apply_to_rows(replica, records, txn)
+                # The marker is flushed but the commit as a whole is
+                # still in flight (more replicas / partitions to ship):
+                # remember the copy so a crash-abort landing in one of
+                # the later yields can retract what this one holds.
+                self._shipped_inflight.setdefault(
+                    txn.txn_id, []).append((replica, undo))
                 self.records_shipped += len(records)
                 self.bytes_shipped += payload_bytes
             self.commits_shipped += 1
+        self._shipped_inflight.pop(txn.txn_id, None)
         if breakdown is not None:
             breakdown.add("replication", self.env.now - t0)
+
+    @staticmethod
+    def _apply_to_rows(replica: SegmentReplica, records, txn) -> dict:
+        """Fold one shipped commit into the replica's materialized row
+        state.  The records passed checksum verification before the
+        wire, so the map stays trustworthy even when the on-disk
+        replica log later rots (the scrub daemon handles that copy).
+
+        Returns the pre-image of every touched key (``None`` for keys
+        the replica had never seen) so a crash-abort racing the rest of
+        the ship can restore the map."""
+        commit_ts = txn.commit_ts
+        undo: dict = {}
+        for record in records:
+            if record.kind in ("insert", "update"):
+                _table, key, values = record.payload
+                undo.setdefault(key, replica.rows.get(key))
+                replica.rows[key] = (tuple(values), record.txn_id, commit_ts)
+            elif record.kind == "delete":
+                _table, key = record.payload
+                undo.setdefault(key, replica.rows.get(key))
+                replica.rows[key] = (None, record.txn_id, commit_ts)
+        if commit_ts is not None:
+            replica.replay_horizon = max(replica.replay_horizon, commit_ts)
+        return undo
 
     # -- recycling horizon ---------------------------------------------------
 
@@ -241,6 +351,17 @@ class ReplicationManager:
                 if pin is None or record.lsn < pin:
                     pin = record.lsn
         return pin
+
+    def replication_lag(self, node_id: int) -> int:
+        """How far the replicas of ``node_id``'s partitions trail its
+        primary WAL, in LSNs: the span between the oldest un-acked
+        record and the WAL tail (0 when nothing is in flight).  The
+        read tier enforces its staleness budget against this — a
+        replica read is only served while the lag is within budget."""
+        pin = self.acked_horizon(node_id)
+        if pin is None:
+            return 0
+        return max(self.cluster.worker(node_id).wal._next_lsn - pin, 0)
 
     # -- replica-log compaction ----------------------------------------------
 
@@ -367,28 +488,51 @@ class ReplicationManager:
             self.env, holder.log_disk,
             name=f"replica.p{partition.partition_id}@n{holder.node_id}",
         )
+        seed_ts = self.cluster.txns.oracle.current
+        replica = SegmentReplica(holder.node_id, log, self.env.now,
+                                 seeding=True)
+        rows: dict = {}
         for key, values, row_bytes in self._committed_rows(partition):
             log.append(
                 REPLICA_BASE_TXN_ID, "insert",
                 (replica_set.table, key, values),
                 nbytes=row_bytes + LOG_RECORD_HEADER_BYTES,
             )
+            # The base image is a committed snapshot as of ``seed_ts``:
+            # a conservative version stamp (reads below it bounce to
+            # the primary rather than risk staleness).
+            rows[key] = (tuple(values), REPLICA_BASE_TXN_ID, seed_ts)
         lsn = log.append(REPLICA_BASE_TXN_ID, "commit")
-        data_bytes = max(partition.used_bytes, LOG_BLOCK_BYTES)
-        yield from owner.disk_space.disks[0].read(
-            data_bytes, sequential=True, priority=priority
-        )
-        yield from self.cluster.network.transfer(
-            owner.port, holder.port, data_bytes, priority
-        )
-        yield from log.flush(lsn, None, priority)
-        replica = SegmentReplica(holder.node_id, log, self.env.now)
         # The base image reflects every row committed on the owner so
         # far; in-flight transactions stay pinned by ``_pending``.
         replica.acked_lsn = owner.wal._next_lsn
+        replica.rows = rows
+        replica.replay_horizon = seed_ts
+        replica.base_ts = seed_ts
+        # Register *before* the transfer: the scan above is atomic
+        # (no yields since ``seed_ts``), so every commit that lands
+        # while the image is on the wire ships to this replica like
+        # any other, appending behind the base records it belongs
+        # after.  Promotion and snapshot reads stay fenced off by
+        # ``seeding`` until the image is durable on the holder.
+        replica_set.replicas.append(replica)
+        data_bytes = max(partition.used_bytes, LOG_BLOCK_BYTES)
+        try:
+            yield from owner.disk_space.disks[0].read(
+                data_bytes, sequential=True, priority=priority
+            )
+            yield from self.cluster.network.transfer(
+                owner.port, holder.port, data_bytes, priority
+            )
+            yield from log.flush(lsn, None, priority)
+        except BaseException:
+            replica.stale = True
+            if replica in replica_set.replicas:
+                replica_set.replicas.remove(replica)
+            raise
+        replica.seeding = False
         replica.bytes_shipped += data_bytes
         self.bytes_shipped += data_bytes
-        replica_set.replicas.append(replica)
         return replica
 
     @staticmethod

@@ -83,9 +83,16 @@ def render_slo_table(tenants: dict[str, dict[str, float | int]],
     (``offered`` / ``shed`` / ``rejected`` / ``abandoned``) and an
     optional ``slo_p99_ms`` target; the p99 column is judged against
     the target when one is given.
+
+    When the engine split latencies by transaction class (the
+    ``read_*`` / ``write_*`` keys of :meth:`SessionEngine
+    .tenant_report`), the table carries separate read and write
+    percentile columns; without the split those cells render as "-".
     """
     headers = ["tenant", "requests", "p50 ms", "p99 ms", "p999 ms",
-               "mean ms", "shed %", "rejected %", "abandoned", "p99 SLO"]
+               "mean ms", "reads", "r-p50 ms", "r-p99 ms", "writes",
+               "w-p50 ms", "w-p99 ms", "shed %", "rejected %",
+               "abandoned", "p99 SLO"]
     rows = []
     for name in sorted(tenants):
         t = tenants[name]
@@ -101,10 +108,50 @@ def render_slo_table(tenants: dict[str, dict[str, float | int]],
                        else f"MISS>{_fmt(target)}")
         rows.append([
             name, offered, t.get("p50", 0.0), t.get("p99", 0.0),
-            t.get("p999", 0.0), t.get("mean", 0.0), shed_pct,
+            t.get("p999", 0.0), t.get("mean", 0.0),
+            t.get("read_requests"), t.get("read_p50"), t.get("read_p99"),
+            t.get("write_requests"), t.get("write_p50"),
+            t.get("write_p99"), shed_pct,
             rejected_pct, t.get("abandoned", 0), verdict,
         ])
     return render_table(headers, rows, title=title)
+
+
+def render_reads_summary(stats: dict[str, int | float],
+                         title: str = "read tier") -> str:
+    """Render a :meth:`repro.reads.ReadTier.stats` dict: where reads
+    were served (cache / replica / view / bounced to the primary) and
+    the cache's conservation ledgers."""
+    rows = [
+        ["cache hits", stats.get("reads_cache", 0)],
+        ["replica point reads", stats.get("reads_replica", 0)],
+        ["replica definitive misses", stats.get("reads_replica_miss", 0)],
+        ["replica range reads", stats.get("reads_replica_range", 0)],
+        ["view reads", stats.get("reads_view", 0)],
+        ["failover retries", stats.get("reads_failover_retries", 0)],
+        ["bounced: commit in flight", stats.get("bounce_horizon", 0)],
+        ["bounced: version newer", stats.get("bounce_version", 0)],
+        ["bounced: lag over budget", stats.get("bounce_lag", 0)],
+        ["bounced: no live replica", stats.get("bounce_no_replica", 0)
+         + stats.get("bounce_no_candidate", 0)],
+        ["bounced: partition moving", stats.get("bounce_moving", 0)],
+        ["cache lookups", stats.get("cache_lookups", 0)],
+        ["cache misses (absent)", stats.get("cache_miss_absent", 0)],
+        ["cache misses (version)", stats.get("cache_miss_version", 0)],
+        ["cache misses (node down)", stats.get("cache_miss_node_down", 0)],
+        ["cache fills accepted", stats.get("cache_fills", 0)],
+        ["cache fills rejected (race)",
+         stats.get("cache_fills_rejected_race", 0)],
+        ["cache fills rejected (quota)",
+         stats.get("cache_fills_rejected_quota", 0)],
+        ["cache invalidations", stats.get("cache_invalidations", 0)],
+        ["cache write-throughs", stats.get("cache_write_throughs", 0)],
+        ["cache entries held", stats.get("cache_entries", 0)],
+        ["view batches folded", stats.get("view_batches", 0)],
+        ["view max lag s", stats.get("view_max_lag", 0.0)],
+        ["view checkpoints", stats.get("view_checkpoints", 0)],
+    ]
+    return render_table(["metric", "value"], rows, title=title)
 
 
 def render_admission_summary(stats: dict[str, int | float],

@@ -1,0 +1,27 @@
+"""Read-scaling tier: replica snapshot reads, a distributed cache, and
+incrementally-maintained materialized views (ROADMAP "read-scaling
+tier (CQRS)").
+
+The WattDB replicas exist for failover; between crashes they are paid
+for (shipped, acked, stored) but idle.  This package puts them — plus
+a cache and two TPC-C views — in front of the primaries for declared
+read-only transactions, under one admission rule (the safe read
+horizon) that keeps every derived copy snapshot-correct.  See
+DESIGN.md §15.
+"""
+
+from repro.reads.cache import DistributedCache
+from repro.reads.router import (BOUNCE, MISS, SERVE, ReadTier,
+                                classify_point)
+from repro.reads.views import MaterializedViews, canonical_rows
+
+__all__ = [
+    "BOUNCE",
+    "MISS",
+    "SERVE",
+    "DistributedCache",
+    "MaterializedViews",
+    "ReadTier",
+    "canonical_rows",
+    "classify_point",
+]

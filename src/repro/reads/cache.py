@@ -1,0 +1,252 @@
+"""The distributed cache tier: cache-aside fills, write-through commits.
+
+A fixed set of cluster nodes double as cache shards.  Keys map to
+shards through a *seeded* hash (``zlib.crc32`` over a seed-qualified
+repr — Python's own ``hash`` is salted per process and would break
+determinism across runs).  The protocol is the classic pairing:
+
+* **cache-aside** — a declared-read-only transaction that had to fall
+  through to the primary installs what it read, subject to a per-tenant
+  quota;
+* **write-through invalidation** — every commit's data log records are
+  replayed into the cache *inside the commit path* (piggybacked on the
+  same hook chain that ships replicas, so invalidation costs no extra
+  network round trip and is ordered before the commit acknowledges):
+  present entries are overwritten with the committed value, deletes
+  remove the entry.
+
+Coherence rests on three guards rather than leases or TTLs:
+
+1. the router only consults the cache for snapshots at or below
+   :meth:`~repro.txn.manager.TransactionManager.safe_read_horizon`, so
+   every commit a snapshot could see has already written through;
+2. a hit requires ``entry.version_ts <= begin_ts`` — an entry
+   overwritten by a newer commit is never served to an older snapshot;
+3. fills are rejected when a *newer* commit touched the key after the
+   filler's snapshot (:attr:`DistributedCache._last_write`) — closing
+   the race where a read-then-fill would resurrect a stale value after
+   the invalidation already passed.
+
+A shard node that crashes loses its entries: the first probe after it
+recovers clears the shard map (cache memory does not survive a crash).
+"""
+
+from __future__ import annotations
+
+import typing
+import zlib
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+#: Probe outcomes (the router switches on these).
+HIT = "hit"
+MISS_ABSENT = "miss-absent"
+MISS_VERSION = "miss-version"
+MISS_NODE_DOWN = "miss-node-down"
+
+MISS_KINDS = (MISS_ABSENT, MISS_VERSION, MISS_NODE_DOWN)
+
+DEFAULT_TENANT = "_default"
+
+
+class DistributedCache:
+    """Seeded-hash sharded cache with per-tenant fill quotas."""
+
+    def __init__(self, cluster: "Cluster", node_ids: typing.Sequence[int],
+                 seed: int = 0, per_tenant_quota: int = 4096):
+        if not node_ids:
+            raise ValueError("cache needs at least one shard node")
+        if per_tenant_quota < 1:
+            raise ValueError("per-tenant quota must be positive")
+        self.cluster = cluster
+        self.node_ids = list(node_ids)
+        self.seed = seed
+        self.per_tenant_quota = per_tenant_quota
+        #: shard node id -> {(table, key): (values, writer_txn,
+        #: version_ts, tenant)}.
+        self._shards: dict[int, dict] = {nid: {} for nid in self.node_ids}
+        #: Entries currently held per tenant (quota accounting).
+        self._tenant_entries: dict[str, int] = {}
+        #: (table, key) -> newest commit timestamp that wrote the key —
+        #: the fill-race guard.  Bumped on *every* commit delta, whether
+        #: or not the key is cached.
+        self._last_write: dict[tuple, int] = {}
+        #: Shards whose node was seen down: their map is cleared on the
+        #: first probe after recovery (a crash loses cache memory).
+        self._down_seen: set[int] = set()
+
+        # -- ledgers (``lookups == hits + sum(misses)`` always) -----------
+        self.lookups = 0
+        self.hits = 0
+        self.misses: dict[str, int] = {kind: 0 for kind in MISS_KINDS}
+        self.fills = 0
+        self.fills_accepted = 0
+        self.fills_rejected_race = 0
+        self.fills_rejected_quota = 0
+        self.invalidations = 0       # entries removed by a committed delete
+        self.write_throughs = 0      # entries overwritten by a commit
+        self.shard_wipes = 0         # shard maps cleared after a crash
+        self.entries_wiped = 0
+
+    # -- placement ---------------------------------------------------------
+
+    def shard_of(self, table: str, key: typing.Any) -> int:
+        """Deterministic key -> shard-node mapping."""
+        token = repr((self.seed, table, key)).encode("utf-8")
+        return self.node_ids[zlib.crc32(token) % len(self.node_ids)]
+
+    def _shard_map(self, node_id: int) -> dict | None:
+        """The shard's entry map, honouring crash semantics: ``None``
+        while the node is down; a wiped (empty) map on first use after
+        it recovers."""
+        worker = self.cluster.worker(node_id)
+        if not worker.is_serving:
+            self._down_seen.add(node_id)
+            return None
+        if node_id in self._down_seen:
+            self._down_seen.discard(node_id)
+            wiped = self._shards[node_id]
+            if wiped:
+                self.shard_wipes += 1
+                self.entries_wiped += len(wiped)
+                for entry in wiped.values():
+                    self._drop_tenant_entry(entry[3])
+                wiped.clear()
+        return self._shards[node_id]
+
+    def _drop_tenant_entry(self, tenant: str) -> None:
+        left = self._tenant_entries.get(tenant, 0) - 1
+        if left > 0:
+            self._tenant_entries[tenant] = left
+        else:
+            self._tenant_entries.pop(tenant, None)
+
+    # -- probe -------------------------------------------------------------
+
+    def probe(self, table: str, key: typing.Any,
+              begin_ts: int) -> tuple[str, tuple | None]:
+        """Look the key up for a snapshot at ``begin_ts``.  Returns
+        ``(HIT, values)`` or ``(miss-kind, None)``.  Pure bookkeeping —
+        the router charges the shard round trip."""
+        self.lookups += 1
+        node_id = self.shard_of(table, key)
+        shard = self._shard_map(node_id)
+        if shard is None:
+            self.misses[MISS_NODE_DOWN] += 1
+            return MISS_NODE_DOWN, None
+        entry = shard.get((table, key))
+        if entry is None:
+            self.misses[MISS_ABSENT] += 1
+            return MISS_ABSENT, None
+        values, _writer, version_ts, _tenant = entry
+        if version_ts > begin_ts:
+            # Overwritten by a commit newer than the snapshot: the
+            # older version is gone from the cache, not stale here.
+            self.misses[MISS_VERSION] += 1
+            return MISS_VERSION, None
+        self.hits += 1
+        return HIT, values
+
+    def entry_for(self, table: str, key: typing.Any):
+        """The raw entry (values, writer_txn, version_ts, tenant) or
+        ``None`` — for the router's history recording on a hit."""
+        return self._shards[self.shard_of(table, key)].get((table, key))
+
+    # -- cache-aside fill ---------------------------------------------------
+
+    def fill(self, table: str, key: typing.Any, values: tuple,
+             begin_ts: int, tenant: str | None = None) -> bool:
+        """Install a value a read-only transaction fetched from the
+        primary.  Rejected when a newer commit already touched the key
+        (the fill race) or the tenant is over quota."""
+        self.fills += 1
+        tenant = tenant or DEFAULT_TENANT
+        node_id = self.shard_of(table, key)
+        shard = self._shard_map(node_id)
+        if shard is None:
+            self.fills_rejected_race += 1
+            return False
+        if self._last_write.get((table, key), 0) > begin_ts:
+            # A commit newer than the filler's snapshot wrote this key:
+            # installing the snapshot's value would plant a stale entry
+            # *after* the write-through pass already ran.
+            self.fills_rejected_race += 1
+            return False
+        site = (table, key)
+        prior = shard.get(site)
+        if prior is None \
+                and self._tenant_entries.get(tenant, 0) >= self.per_tenant_quota:
+            self.fills_rejected_quota += 1
+            return False
+        if prior is not None:
+            self._drop_tenant_entry(prior[3])
+        # Filled entries carry the filler's snapshot as a conservative
+        # version stamp and no writer identity (the primary read path
+        # returns bare values).
+        shard[site] = (tuple(values), None, begin_ts, tenant)
+        self._tenant_entries[tenant] = self._tenant_entries.get(tenant, 0) + 1
+        self.fills_accepted += 1
+        return True
+
+    # -- write-through / invalidation ---------------------------------------
+
+    def apply_commit(self, txn_id: int, commit_ts: int,
+                     records: typing.Iterable) -> None:
+        """Replay one committed transaction's data log records into the
+        cache.  Runs inside the commit path (before the ack), so every
+        snapshot the router admits has already seen this pass."""
+        for record in records:
+            if record.kind in ("insert", "update"):
+                table, key, values = record.payload
+                delete = False
+            elif record.kind == "delete":
+                table, key = record.payload
+                values = None
+                delete = True
+            else:
+                continue
+            site = (table, key)
+            self._last_write[site] = commit_ts
+            shard = self._shards[self.shard_of(table, key)]
+            prior = shard.get(site)
+            if prior is None:
+                continue  # write-around: uncached keys stay uncached
+            if delete:
+                del shard[site]
+                self._drop_tenant_entry(prior[3])
+                self.invalidations += 1
+            else:
+                shard[site] = (tuple(values), txn_id, commit_ts, prior[3])
+                self.write_throughs += 1
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(shard) for shard in self._shards.values())
+
+    def ledger_conserved(self) -> bool:
+        """The conservation identities the experiment gates on."""
+        return (
+            self.lookups == self.hits + sum(self.misses.values())
+            and self.fills == (self.fills_accepted
+                               + self.fills_rejected_race
+                               + self.fills_rejected_quota)
+        )
+
+    def stats(self) -> dict[str, int]:
+        out = {
+            "cache_lookups": self.lookups,
+            "cache_hits": self.hits,
+            "cache_fills": self.fills_accepted,
+            "cache_fills_rejected_race": self.fills_rejected_race,
+            "cache_fills_rejected_quota": self.fills_rejected_quota,
+            "cache_invalidations": self.invalidations,
+            "cache_write_throughs": self.write_throughs,
+            "cache_entries": self.entry_count,
+            "cache_shard_wipes": self.shard_wipes,
+        }
+        for kind in MISS_KINDS:
+            out[f"cache_{kind.replace('-', '_')}"] = self.misses[kind]
+        return out

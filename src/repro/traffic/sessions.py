@@ -39,6 +39,14 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
     from repro.workload.tpcc_schema import TpccConfig
 
+#: Transaction kinds the engine declares read-only at ``begin`` — the
+#: read tier may then serve them from replicas, the cache, or the
+#: materialized views, and the SLO report splits their latencies from
+#: the writers'.
+READ_ONLY_KINDS = frozenset({
+    "order_status", "stock_level", "order_status_view", "stock_level_view",
+})
+
 
 class ZipfKeyChooser:
     """Seeded Zipf(theta) ranks over ``n`` items via the cumulative
@@ -118,6 +126,10 @@ class TenantRuntime:
     ctx: TenantTpccContext
     arrival_rng: random.Random
     latency: LatencyHistogram
+    #: The same observations split by transaction class, so the SLO
+    #: report can show read and write percentiles separately.
+    read_latency: LatencyHistogram | None = None
+    write_latency: LatencyHistogram | None = None
     dispatched_cohorts: int = 0
     executed: int = 0          # executed transactions (cohorts)
     conflicts: int = 0         # aborted attempts across all cohorts
@@ -175,6 +187,8 @@ class SessionEngine:
                 ),
                 arrival_rng=random.Random(seed * 15_485_863 + index * 31 + 9),
                 latency=LatencyHistogram(name=tenant.name),
+                read_latency=LatencyHistogram(name=f"{tenant.name}.read"),
+                write_latency=LatencyHistogram(name=f"{tenant.name}.write"),
             )
             self.runtimes[tenant.name] = runtime
         self._in_flight = 0
@@ -225,12 +239,16 @@ class SessionEngine:
         ctx = runtime.ctx
         kind = runtime.pick_kind()
         body = TRANSACTIONS[kind]
+        read_only = kind in READ_ONLY_KINDS
         started = env.now
         for attempt in range(self.max_retries):
             if attempt and env.now - started > self.retry_budget:
                 self.admission.note_abandoned(request)
                 return
-            txn = cluster.txns.begin()
+            txn = cluster.txns.begin(read_only=read_only)
+            # Tag the transaction with its tenant so the read tier's
+            # cache can account fills against per-tenant quotas.
+            txn.tenant = runtime.tenant.name
             try:
                 yield from cluster.network.rpc_delay()  # edge -> master
                 yield from cluster.master.plan()
@@ -246,10 +264,12 @@ class SessionEngine:
                 continue
             del result
             runtime.executed += 1
-            runtime.latency.record(
-                max((env.now - request.arrival) * 1000.0, 0.0),
-                count=request.count,
-            )
+            latency_ms = max((env.now - request.arrival) * 1000.0, 0.0)
+            runtime.latency.record(latency_ms, count=request.count)
+            split = (runtime.read_latency if read_only
+                     else runtime.write_latency)
+            if split is not None:
+                split.record(latency_ms, count=request.count)
             self.completions.record(env.now, request.count)
             self.results_by_kind[kind] = (
                 self.results_by_kind.get(kind, 0) + 1
@@ -314,6 +334,14 @@ class SessionEngine:
         out: dict[str, dict[str, float | int]] = {}
         for name, runtime in self.runtimes.items():
             row: dict[str, float | int] = dict(runtime.latency.summary())
+            for prefix, split in (("read", runtime.read_latency),
+                                  ("write", runtime.write_latency)):
+                if split is None:
+                    continue
+                summary = split.summary()
+                row[f"{prefix}_requests"] = summary["count"]
+                for stat in ("mean", "p50", "p99", "p999"):
+                    row[f"{prefix}_{stat}"] = summary[stat]
             row.update(self.admission.counters_for(name).as_dict())
             if runtime.tenant.slo_p99_ms is not None:
                 row["slo_p99_ms"] = runtime.tenant.slo_p99_ms

@@ -40,10 +40,16 @@ class WriteConflictError(TransactionAborted):
 class Transaction:
     """One unit of work under either MVCC or MGL-RX."""
 
-    def __init__(self, txn_id: int, begin_ts: int, is_system: bool = False):
+    def __init__(self, txn_id: int, begin_ts: int, is_system: bool = False,
+                 read_only: bool = False):
         self.txn_id = txn_id
         self.begin_ts = begin_ts
         self.is_system = is_system
+        #: Declared up front by the client (``begin(read_only=True)``):
+        #: the router may serve this transaction from replicas, the
+        #: cache tier, or materialized views, and any write attempt is
+        #: refused before it can dirty a page.
+        self.declared_read_only = read_only
         self.state = TxnState.ACTIVE
         self.commit_ts: int | None = None
         self._created: list[tuple[Segment, RecordVersion, tuple[int, int]]] = []
@@ -58,6 +64,16 @@ class Transaction:
 
     def note_deleted(self, segment: Segment, version: RecordVersion) -> None:
         self._deleted.append((segment, version))
+
+    def require_writable(self) -> None:
+        """Refuse writes under a declared read-only transaction —
+        checked by the access layer *before* any version is mutated, so
+        the refusal never leaves a half-applied write behind."""
+        if self.declared_read_only:
+            raise TransactionAborted(
+                f"txn {self.txn_id} was declared read-only but attempted "
+                f"a write"
+            )
 
     def note_log(self, log: LogManager) -> None:
         if log not in self._dirty_logs:
@@ -88,6 +104,13 @@ class TransactionManager:
         self.oracle = oracle or TimestampOracle()
         self.locks = lock_manager or LockManager(env)
         self._active: dict[int, Transaction] = {}
+        #: Writer transactions mid-commit: commit timestamp assigned
+        #: (their versions are already stamped, hence visible to late
+        #: snapshots) but the commit not yet acknowledged — so cache
+        #: entries and replica states may not reflect them yet.  The
+        #: read tier bounces any snapshot at or past the oldest such
+        #: timestamp to the primary (:meth:`safe_read_horizon`).
+        self._committing: dict[int, int] = {}
         self.committed_count = 0
         self.aborted_count = 0
         #: Optional commit-path generator hook ``(txn, breakdown,
@@ -106,8 +129,10 @@ class TransactionManager:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def begin(self, is_system: bool = False) -> Transaction:
-        txn = Transaction(self.oracle.next(), self.oracle.current, is_system)
+    def begin(self, is_system: bool = False,
+              read_only: bool = False) -> Transaction:
+        txn = Transaction(self.oracle.next(), self.oracle.current, is_system,
+                          read_only=read_only)
         self._active[txn.txn_id] = txn
         if self.history is not None:
             self.history.record_begin(txn, self.env.now)
@@ -126,6 +151,12 @@ class TransactionManager:
         txn.require_active()
         commit_start = self.env.now
         commit_ts = self.oracle.next()
+        # Stamp the transaction early: the commit hooks (replication,
+        # cache invalidation, view maintenance) run inside this call
+        # and need the timestamp; a crash-abort mid-flush resets it.
+        txn.commit_ts = commit_ts
+        if not txn.is_read_only:
+            self._committing[txn.txn_id] = commit_ts
         for _segment, version, _location in txn._created:
             version.created_ts = commit_ts
         for _segment, version in txn._deleted:
@@ -180,6 +211,9 @@ class TransactionManager:
                 # A commit interrupted mid-flush may already have
                 # stamped the delete; the abort wins.
                 version.deleted_ts = None
+        # Likewise a commit interrupted mid-flush already stamped the
+        # transaction itself; the abort voids that too.
+        txn.commit_ts = None
         for log in txn._dirty_logs:
             log.append(txn.txn_id, "abort")
         if self.on_abort is not None:
@@ -192,6 +226,7 @@ class TransactionManager:
 
     def _finish(self, txn: Transaction) -> None:
         self._active.pop(txn.txn_id, None)
+        self._committing.pop(txn.txn_id, None)
         self.locks.release_all(txn.txn_id)
 
     # -- snapshot horizon ------------------------------------------------------
@@ -209,3 +244,22 @@ class TransactionManager:
         if not self._active:
             return self.oracle.current + 1
         return min(t.begin_ts for t in self._active.values())
+
+    def safe_read_horizon(self) -> int:
+        """Highest snapshot timestamp the read tier may serve from a
+        *derived* copy (cache entry, replica row state, materialized
+        view) right now.
+
+        A commit stamps its timestamp and its versions at commit entry,
+        then spends simulated time on log forces and replica shipping
+        before cache invalidation and view maintenance run.  A snapshot
+        taken at or past an in-flight commit's timestamp could therefore
+        see that commit on the primary but miss it in a derived copy —
+        so such snapshots must be answered by the primary.  Snapshots at
+        or below the returned horizon are safe: every commit stamped at
+        or before it has fully acknowledged, which includes invalidating
+        the cache, shipping every live replica, and feeding the views.
+        """
+        if not self._committing:
+            return self.oracle.current
+        return min(self._committing.values()) - 1

@@ -84,6 +84,7 @@ def insert(segment: Segment, version: RecordVersion,
            txn: "Transaction") -> tuple[int, int]:
     """Insert a brand-new record version; duplicate-key checked against
     the transaction's snapshot."""
+    txn.require_writable()
     existing = visible_version(segment, version.key, txn)
     if existing is not None:
         raise DuplicateKeyError(f"key {version.key!r} already visible")
@@ -97,6 +98,7 @@ def update(segment: Segment, key: typing.Any, new_version: RecordVersion,
     """Delete-mark the visible version and chain a new one."""
     from repro.txn.manager import WriteConflictError
 
+    txn.require_writable()
     if has_write_conflict(segment, key, txn):
         raise WriteConflictError(f"write-write conflict on key {key!r}")
     current = visible_version(segment, key, txn)
@@ -114,6 +116,7 @@ def delete(segment: Segment, key: typing.Any, txn: "Transaction") -> None:
     """Delete-mark the visible version of ``key``."""
     from repro.txn.manager import WriteConflictError
 
+    txn.require_writable()
     if has_write_conflict(segment, key, txn):
         raise WriteConflictError(f"write-write conflict on key {key!r}")
     current = visible_version(segment, key, txn)

@@ -1,0 +1,145 @@
+"""Distributed cache: coherence against a model store under random
+interleavings of fills, commits, probes, and shard crashes — plus the
+conservation ledgers the experiment gates on."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, Environment
+from repro.reads.cache import HIT, DistributedCache
+
+
+def make_cache(seed=0, quota=4096, node_count=3):
+    env = Environment(seed=seed)
+    cluster = Cluster(env, node_count=node_count,
+                      initially_active=node_count,
+                      buffer_pages_per_node=64)
+    cache = DistributedCache(cluster,
+                             [w.node_id for w in cluster.workers],
+                             seed=seed, per_tenant_quota=quota)
+    return cluster, cache
+
+
+class FakeRecord:
+    def __init__(self, kind, payload):
+        self.kind = kind
+        self.payload = payload
+
+
+@st.composite
+def cache_script(draw):
+    """A randomized schedule over a tiny keyspace.  Commit timestamps
+    are globally increasing; every reader's snapshot is the then-newest
+    commit timestamp (a safe-horizon snapshot, which is the only kind
+    the router ever offers the cache)."""
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        kind = draw(st.sampled_from(
+            ["commit", "fill", "probe", "probe", "crash"]))
+        key = draw(st.integers(min_value=0, max_value=4))
+        steps.append((kind, key, draw(st.integers(0, 2))))
+    return steps
+
+
+@settings(max_examples=80, deadline=None)
+@given(script=cache_script())
+def test_property_hits_always_serve_the_newest_visible_value(script):
+    cluster, cache = make_cache(seed=3)
+    store: dict[int, tuple] = {}   # key -> newest committed value
+    ts = 10
+    txn_id = 100
+    #: Readers that fetched from the primary but have not filled yet:
+    #: (key, value-at-their-snapshot, snapshot).
+    unfilled: list[tuple[int, tuple, int]] = []
+    rng = random.Random(7)
+
+    for kind, key, arg in script:
+        if kind == "commit":
+            ts += 1
+            txn_id += 1
+            value = (key, f"v{ts}")
+            store[key] = value
+            cache.apply_commit(txn_id, ts, [
+                FakeRecord("insert", ("t", key, value))])
+        elif kind == "fill":
+            # A primary read at snapshot ts sees store[key]; it fills
+            # some steps later (commits may have landed in between —
+            # the race guard must reject those).
+            if key in store:
+                unfilled.append((key, store[key], ts))
+            if unfilled and rng.random() < 0.7:
+                fkey, fvalue, fts = unfilled.pop(
+                    rng.randrange(len(unfilled)))
+                cache.fill("t", fkey, fvalue, fts, tenant=f"t{arg}")
+        elif kind == "probe":
+            status, values = cache.probe("t", key, ts)
+            if status == HIT:
+                assert values == store.get(key), (
+                    f"hit served {values!r}, newest committed is "
+                    f"{store.get(key)!r}"
+                )
+        else:  # crash one shard node and let the next probe wipe it
+            worker = cluster.workers[arg % len(cluster.workers)]
+            if worker.machine.is_active:
+                worker.machine.crash()
+                cache.probe("t", key, ts)
+                env = cluster.env
+                env.run(until=env.process(worker.machine.power_on()))
+
+    assert cache.ledger_conserved()
+
+
+def test_write_through_overwrites_and_delete_invalidates():
+    _cluster, cache = make_cache()
+    cache.fill("t", 1, (1, "old"), 10)
+    assert cache.probe("t", 1, 10) == (HIT, (1, "old"))
+    cache.apply_commit(50, 12, [FakeRecord("update", ("t", 1, (1, "new")))])
+    # Older snapshot: the overwritten version is gone, not stale.
+    status, _ = cache.probe("t", 1, 10)
+    assert status != HIT
+    assert cache.probe("t", 1, 12) == (HIT, (1, "new"))
+    cache.apply_commit(51, 13, [FakeRecord("delete", ("t", 1))])
+    status, _ = cache.probe("t", 1, 13)
+    assert status != HIT
+    assert cache.invalidations == 1
+    assert cache.write_throughs == 1
+
+
+def test_fill_race_rejected_after_newer_commit():
+    _cluster, cache = make_cache()
+    # A reader at snapshot 10 read (1, "stale"); txn 50 then committed
+    # (1, "fresh") at 12 and wrote through (write-around here: key is
+    # uncached, but the last-write stamp still bumps).
+    cache.apply_commit(50, 12, [FakeRecord("update", ("t", 1, (1, "fresh")))])
+    assert cache.fill("t", 1, (1, "stale"), 10) is False
+    assert cache.fills_rejected_race == 1
+    status, _ = cache.probe("t", 1, 12)
+    assert status != HIT  # nothing was planted
+
+
+def test_per_tenant_quota_enforced():
+    _cluster, cache = make_cache(quota=2)
+    assert cache.fill("t", 1, (1, "a"), 10, tenant="web")
+    assert cache.fill("t", 2, (2, "b"), 10, tenant="web")
+    assert cache.fill("t", 3, (3, "c"), 10, tenant="web") is False
+    assert cache.fills_rejected_quota == 1
+    # Other tenants have their own budget.
+    assert cache.fill("t", 3, (3, "c"), 10, tenant="batch")
+    assert cache.ledger_conserved()
+
+
+def test_crash_wipes_shard_on_next_probe():
+    cluster, cache = make_cache(node_count=1)
+    cache.fill("t", 1, (1, "a"), 10)
+    assert cache.entry_count == 1
+    cluster.workers[0].machine.crash()
+    status, _ = cache.probe("t", 1, 10)
+    assert status != HIT
+    env = cluster.env
+    env.run(until=env.process(cluster.workers[0].machine.power_on()))
+    cache.probe("t", 1, 10)
+    assert cache.entry_count == 0
+    assert cache.shard_wipes == 1
+    assert cache.ledger_conserved()

@@ -1,0 +1,174 @@
+"""Planted violations for the read-tier checkers: each anomaly class —
+stale replica read beyond the lag budget, missed cache invalidation,
+lagging view, diverged view — is flagged as exactly its own kind, and
+clean read-tier histories pass every checker."""
+
+from repro.audit.checkers import (
+    History,
+    check_aborted_reads,
+    check_cache_coherence,
+    check_intermediate_reads,
+    check_lost_updates,
+    check_snapshot_reads,
+    check_staleness_bounds,
+    check_view_checkpoints,
+    check_write_cycles,
+)
+from repro.audit.history import Op, ViewCheckpoint
+
+LAG_BUDGET = 64.0
+
+
+def all_anomalies(history: History, checkpoints=(), lag_bound=None):
+    out = []
+    for checker in (check_aborted_reads, check_intermediate_reads,
+                    check_lost_updates, check_write_cycles,
+                    check_snapshot_reads):
+        out += checker(history)
+    out += check_staleness_bounds(history, LAG_BUDGET)
+    out += check_cache_coherence(history)
+    out += check_view_checkpoints(checkpoints, lag_bound)
+    return out
+
+
+def assert_only(kind, history, checkpoints=(), lag_bound=None):
+    kinds = {a.kind for a in all_anomalies(history, checkpoints, lag_bound)}
+    assert kind in kinds, f"planted {kind} not detected"
+    assert kinds == {kind}, f"unexpected extra anomalies: {kinds}"
+
+
+def committed_base():
+    """Txn 1 commits (5, 'v1') at ts 11; txn 2 updates it to 'v2' at 13
+    with its full commit (including invalidation) done by t=1.0."""
+    return [
+        Op.begin(1, 10, at=0.1),
+        Op.write(1, "insert", "t", 5, (5, "v1"), at=0.2),
+        Op.commit(1, 11, at=0.3),
+        Op.begin(2, 12, at=0.5),
+        Op.write(2, "update", "t", 5, (5, "v2"),
+                 prev_writer=1, prev_ts=11, at=0.6),
+        Op.commit(2, 13, at=1.0),
+    ]
+
+
+# -- clean histories ---------------------------------------------------------
+
+def test_clean_read_tier_history_passes_every_checker():
+    ops = committed_base() + [
+        # Replica read inside the lag budget, correct version.
+        Op.begin(3, 14, at=2.0),
+        Op.read(3, "t", 5, (5, "v2"), writer_txn=2, version_ts=13,
+                at=2.1, origin="replica", lag=12.0),
+        Op.commit(3, 15, at=2.2),
+        # Cache hit (write-through entry): stamped by its real writer.
+        Op.begin(4, 16, at=3.0),
+        Op.read(4, "t", 5, (5, "v2"), writer_txn=2, version_ts=13,
+                at=3.1, origin="cache"),
+        Op.commit(4, 17, at=3.2),
+        # Cache hit (fill entry): no writer, judged by value.
+        Op.begin(5, 18, at=4.0),
+        Op.read(5, "t", 5, (5, "v2"), writer_txn=None, version_ts=14,
+                at=4.1, origin="cache"),
+        Op.commit(5, 19, at=4.2),
+    ]
+    checkpoints = [ViewCheckpoint(t=5.0, label="final", view="v",
+                                  lag=0.05, incremental_fingerprint="abc",
+                                  recomputed_fingerprint="abc")]
+    assert all_anomalies(History(ops), checkpoints, lag_bound=5.0) == []
+
+
+# -- planted staleness-bound -------------------------------------------------
+
+def test_planted_stale_replica_read_flagged_as_staleness_bound():
+    ops = committed_base() + [
+        Op.begin(3, 14, at=2.0),
+        # Correct version — but the serving replica lagged the primary
+        # by more than the budget the router promised to enforce.
+        Op.read(3, "t", 5, (5, "v2"), writer_txn=2, version_ts=13,
+                at=2.1, origin="replica", lag=LAG_BUDGET + 1),
+        Op.commit(3, 15, at=2.2),
+    ]
+    assert_only("staleness-bound", History(ops))
+
+
+def test_replica_read_with_wrong_version_is_an_si_anomaly_too():
+    """A replica read carries real version stamps, so a wrong version
+    is caught by the ordinary snapshot checker even when the lag was
+    inside the budget."""
+    ops = committed_base() + [
+        Op.begin(3, 14, at=2.0),
+        Op.read(3, "t", 5, (5, "v1"), writer_txn=1, version_ts=11,
+                at=2.1, origin="replica", lag=1.0),
+        Op.commit(3, 15, at=2.2),
+    ]
+    assert_only("si-stale-read", History(ops))
+
+
+# -- planted missed invalidation ---------------------------------------------
+
+def test_planted_missed_invalidation_flagged_as_cache_stale_hit():
+    # Fill entry (no writer identity): txn 2's update fully completed
+    # at t=1.0, yet a snapshot begun afterwards still saw "v1".
+    ops = committed_base() + [
+        Op.begin(3, 14, at=2.0),
+        Op.read(3, "t", 5, (5, "v1"), writer_txn=None, version_ts=10,
+                at=2.1, origin="cache"),
+        Op.commit(3, 15, at=2.2),
+    ]
+    assert_only("cache-stale-hit", History(ops))
+
+
+def test_planted_future_stamped_cache_entry_flagged():
+    # Write-through entry stamped newer than the reader's snapshot:
+    # the probe guard (version_ts <= begin) was violated.
+    ops = committed_base() + [
+        Op.begin(3, 12, at=2.0),
+        Op.read(3, "t", 5, (5, "v2"), writer_txn=2, version_ts=13,
+                at=2.1, origin="cache"),
+        Op.commit(3, 15, at=2.2),
+    ]
+    assert_only("cache-stale-hit", History(ops))
+
+
+def test_cache_hit_within_invalidation_window_is_not_flagged():
+    """The commit's invalidation pass had not completed before the read
+    began — the fill checker must not call that a missed invalidation."""
+    ops = [
+        Op.begin(1, 10, at=0.1),
+        Op.write(1, "insert", "t", 5, (5, "v1"), at=0.2),
+        Op.commit(1, 11, at=0.3),
+        Op.begin(2, 12, at=0.5),
+        Op.write(2, "update", "t", 5, (5, "v2"),
+                 prev_writer=1, prev_ts=11, at=0.6),
+        Op.commit(2, 13, at=5.0),  # commit (and invalidation) done at 5.0
+        Op.begin(3, 14, at=4.0),
+        Op.read(3, "t", 5, (5, "v1"), writer_txn=None, version_ts=10,
+                at=4.5, origin="cache"),  # read started before 5.0
+        Op.commit(3, 15, at=6.0),
+    ]
+    anomalies = check_cache_coherence(History(ops))
+    assert anomalies == []
+
+
+# -- planted view violations -------------------------------------------------
+
+def test_planted_lagging_view_flagged_as_view_lag():
+    checkpoints = [ViewCheckpoint(t=9.0, label="meter", view="v",
+                                  lag=7.5, incremental_fingerprint="abc",
+                                  recomputed_fingerprint="abc")]
+    assert_only("view-lag", History([]), checkpoints, lag_bound=5.0)
+
+
+def test_planted_diverged_view_flagged_as_view_divergence():
+    checkpoints = [ViewCheckpoint(t=9.0, label="final", view="v",
+                                  lag=0.01,
+                                  incremental_fingerprint="abc123abc123",
+                                  recomputed_fingerprint="def456def456")]
+    assert_only("view-divergence", History([]), checkpoints, lag_bound=5.0)
+
+
+def test_view_checker_ignores_lag_without_a_bound():
+    checkpoints = [ViewCheckpoint(t=9.0, label="meter", view="v",
+                                  lag=1e9, incremental_fingerprint="a",
+                                  recomputed_fingerprint="a")]
+    assert check_view_checkpoints(checkpoints, None) == []

@@ -1,0 +1,116 @@
+"""Property tests for the replica point-read rule: ``classify_point``
+never serves anything a reference MVCC oracle would not, and only
+bounces when the single-version row state genuinely cannot answer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reads import BOUNCE, MISS, SERVE, classify_point
+
+#: A version chain is a list of (commit_ts, value-or-None) in commit
+#: order; ``None`` is a committed delete.
+REPLICA_BASE_TXN_ID = -2
+
+
+@st.composite
+def chain_and_snapshot(draw):
+    n = draw(st.integers(min_value=0, max_value=6))
+    ts_list = sorted(draw(st.lists(
+        st.integers(min_value=2, max_value=100),
+        min_size=n, max_size=n, unique=True)))
+    chain = [
+        (ts, None if draw(st.booleans()) and draw(st.booleans())
+         else ("k", f"v@{ts}"))
+        for ts in ts_list
+    ]
+    base_ts = draw(st.integers(min_value=1, max_value=101))
+    begin_ts = draw(st.integers(min_value=0, max_value=110))
+    return chain, base_ts, begin_ts
+
+
+def oracle(chain, begin_ts):
+    """The version a primary MVCC read at ``begin_ts`` returns: the
+    newest committed value at or before the snapshot (None if the key
+    does not exist there)."""
+    visible = None
+    for ts, value in chain:
+        if ts <= begin_ts:
+            visible = value
+    return visible
+
+
+def replica_entry(chain, base_ts):
+    """The replica's single-version row state after a base image at
+    ``base_ts`` plus synchronous shipping of everything after it —
+    exactly how ``_seed_replica`` and ``_apply_to_rows`` build it.
+
+    The base image collapses history at or before ``base_ts`` into one
+    pseudo-committed row stamped ``base_ts`` (only if the key is live
+    there); later commits fold in individually with their true stamps.
+    """
+    shipped = [(ts, value) for ts, value in chain if ts > base_ts]
+    if shipped:
+        ts, value = shipped[-1]
+        return (value, 1000 + ts, ts)
+    base_value = oracle(chain, base_ts)
+    if base_value is None:
+        return None
+    return (base_value, REPLICA_BASE_TXN_ID, base_ts)
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=chain_and_snapshot())
+def test_property_classify_point_agrees_with_mvcc_oracle(data):
+    chain, base_ts, begin_ts = data
+    entry = replica_entry(chain, base_ts)
+    verdict, values = classify_point(entry, begin_ts, base_ts)
+
+    if begin_ts < base_ts:
+        # The snapshot predates the base image: the row state cannot
+        # know what the key looked like then.  Always a bounce.
+        assert verdict == BOUNCE
+        return
+
+    expected = oracle(chain, begin_ts)
+    if verdict == SERVE:
+        assert values == expected, (
+            f"served {values!r}, oracle says {expected!r}"
+        )
+        assert expected is not None
+    elif verdict == MISS:
+        # A definitive "does not exist" must match the oracle.
+        assert expected is None
+    else:
+        # Bouncing is always safe, but it must only happen when the
+        # single-version map genuinely lost the needed version: the
+        # entry is newer than the snapshot.
+        assert entry is not None and entry[2] > begin_ts
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=chain_and_snapshot())
+def test_property_classify_never_fabricates(data):
+    """SERVE values always come verbatim from the entry (the function
+    never invents data), and a tombstone entry is never served."""
+    chain, base_ts, begin_ts = data
+    entry = replica_entry(chain, base_ts)
+    verdict, values = classify_point(entry, begin_ts, base_ts)
+    if verdict == SERVE:
+        assert entry is not None and values == entry[0]
+        assert values is not None
+    else:
+        assert values is None
+
+
+def test_classify_point_edges():
+    # Snapshot before the base image: bounce regardless of the entry.
+    assert classify_point(None, 4, 5) == (BOUNCE, None)
+    assert classify_point((("x",), 7, 5), 4, 5) == (BOUNCE, None)
+    # Absent key at or after base: a definitive miss.
+    assert classify_point(None, 5, 5) == (MISS, None)
+    # Entry newer than the snapshot: the needed version is gone.
+    assert classify_point((("x",), 7, 9), 8, 5) == (BOUNCE, None)
+    # Tombstone at or before the snapshot: key deleted, miss.
+    assert classify_point((None, 7, 8), 8, 5) == (MISS, None)
+    # The visible version itself: serve.
+    assert classify_point((("x",), 7, 8), 8, 5) == (SERVE, ("x",))

@@ -1,0 +1,66 @@
+"""Per-tenant SLO reporting split by transaction class: the engine
+keeps separate read/write latency histograms and the report renders
+them as separate percentile columns."""
+
+from repro import Cluster, Environment
+from repro.metrics.report import render_slo_table
+from repro.traffic import ConstantArrivals, SessionEngine, TenantClass
+from repro.workload import load_tpcc
+from repro.workload.tpcc_schema import TpccConfig
+
+SMALL_TPCC = TpccConfig(
+    warehouses=2, districts_per_warehouse=2, customers_per_district=10,
+    items=50, orders_per_district=5, order_lines_per_order=3,
+)
+
+
+def run_mixed_engine(duration=15.0, seed=4):
+    env = Environment(seed=seed)
+    cluster = Cluster(env, node_count=2, initially_active=2,
+                      buffer_pages_per_node=256)
+    load_tpcc(cluster, SMALL_TPCC,
+              owners=[cluster.workers[0], cluster.workers[1]])
+    tenants = [
+        TenantClass(name="mixed", users=1_000,
+                    arrivals=ConstantArrivals(30.0), zipf_theta=0.5,
+                    mix=(("order_status", 0.5), ("new_order", 0.5)),
+                    slo_p99_ms=60_000.0),
+    ]
+    engine = SessionEngine(cluster, SMALL_TPCC, tenants, seed=seed,
+                           batch=5, executors=4, queue_limit=500)
+    env.run(until=env.process(engine.run(duration), name="traffic"))
+    return engine
+
+
+class TestReadWriteSplit:
+    def test_tenant_report_splits_by_class_and_conserves_counts(self):
+        engine = run_mixed_engine()
+        row = engine.tenant_report()["mixed"]
+        # Both classes actually ran ...
+        assert row["read_requests"] > 0
+        assert row["write_requests"] > 0
+        # ... every completed request is in exactly one split ...
+        assert row["read_requests"] + row["write_requests"] == row["count"]
+        # ... and each split carries its own percentiles.
+        for prefix in ("read", "write"):
+            for stat in ("mean", "p50", "p99", "p999"):
+                assert f"{prefix}_{stat}" in row
+        assert row["read_p99"] > 0.0
+        assert row["write_p99"] > 0.0
+
+    def test_render_slo_table_shows_split_columns(self):
+        engine = run_mixed_engine()
+        table = render_slo_table(engine.tenant_report())
+        for column in ("r-p50 ms", "r-p99 ms", "w-p50 ms", "w-p99 ms",
+                       "reads", "writes"):
+            assert column in table
+
+    def test_render_without_split_degrades_to_dashes(self):
+        table = render_slo_table({
+            "plain": {"count": 10, "p50": 1.0, "p99": 2.0, "p999": 3.0,
+                      "mean": 1.5, "offered": 10},
+        })
+        assert "r-p99 ms" in table  # column exists
+        row_line = next(line for line in table.splitlines()
+                        if line.lstrip().startswith("plain"))
+        assert "-" in row_line  # split cells render as placeholders
